@@ -1,0 +1,78 @@
+"""F1 — transfer/output characteristics of the self-consistent nanowire FET.
+
+Regenerates the paper's device-result figure class: ballistic Id-Vg and
+Id-Vd of a gate-all-around nanowire transistor from the fully
+self-consistent Poisson + wave-function-transport loop, plus the
+engineering figures of merit.  The reproduction targets are qualitative
+shape facts: exponential subthreshold with swing >= the 59.6 mV/dec
+thermionic limit, on/off > 1e3 over half a volt of gate swing, and a
+saturating output characteristic.
+"""
+
+import numpy as np
+from conftest import print_experiment
+
+from repro.core import IVSweep, SelfConsistentSolver, subthreshold_swing_mv_dec
+from repro.io import format_si, format_table
+
+
+def test_f1_transfer_characteristic(benchmark, fet_small, fet_transport):
+    scf = SelfConsistentSolver(fet_small, fet_transport)
+    sweep = IVSweep(scf)
+    v_gates = np.linspace(-0.45, 0.1, 7)
+
+    curve = benchmark.pedantic(
+        lambda: sweep.transfer_curve(v_gates, v_drain=0.05),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (f"{p.v_gate:+.3f}", format_si(p.current_a, "A"),
+         "yes" if p.converged else "NO", p.n_iterations)
+        for p in curve.points
+    ]
+    ss = subthreshold_swing_mv_dec(
+        curve.gate_voltages()[:4], curve.currents()[:4]
+    )
+    print_experiment(
+        "F1a",
+        "Id-Vg transfer characteristic (V_D = 50 mV)",
+        f"subthreshold swing {ss:.1f} mV/dec (thermionic limit 59.6); "
+        f"on/off = {curve.on_off_ratio():.2e}",
+    )
+    print(format_table(["V_G (V)", "I_D", "converged", "iters"], rows))
+
+    i = curve.currents()
+    assert np.all(np.diff(i) > 0)
+    assert curve.on_off_ratio() > 1e3
+    assert ss > 55.0
+    assert all(p.converged for p in curve.points)
+
+
+def test_f1_output_characteristic(benchmark, fet_small, fet_transport):
+    scf = SelfConsistentSolver(fet_small, fet_transport)
+    sweep = IVSweep(scf)
+    v_drains = np.array([0.02, 0.1, 0.2, 0.3])
+
+    curve = benchmark.pedantic(
+        lambda: sweep.output_curve(v_gate=0.0, drain_voltages=v_drains),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (f"{p.v_drain:.2f}", format_si(p.current_a, "A"),
+         "yes" if p.converged else "NO")
+        for p in curve.points
+    ]
+    i = curve.currents()
+    g_first = (i[1] - i[0]) / (v_drains[1] - v_drains[0])
+    g_last = (i[-1] - i[-2]) / (v_drains[-1] - v_drains[-2])
+    print_experiment(
+        "F1b",
+        "Id-Vd output characteristic (V_G = 0 V)",
+        f"output conductance collapse: g_d(sat)/g_d(lin) = "
+        f"{g_last / g_first:.3f} (ballistic saturation)",
+    )
+    print(format_table(["V_D (V)", "I_D", "converged"], rows))
+
+    assert np.all(np.diff(i) > -0.02 * i.max())
+    assert g_last < 0.5 * g_first
+    assert all(p.converged for p in curve.points)

@@ -1,0 +1,91 @@
+"""F7 — self-consistency: Poisson-transport convergence and mixing ablation.
+
+Regenerates the convergence figure: SCF residual vs iteration for the
+nanowire FET at several bias points, and the Anderson-vs-linear mixing
+ablation (DESIGN.md section 5).  Reproduction targets: geometric residual
+decay, convergence within tens of iterations at every bias, and Anderson
+needing no more iterations than plain damped mixing.
+"""
+
+import numpy as np
+from conftest import print_experiment
+
+from repro.core import SelfConsistentSolver
+from repro.io import format_table
+
+
+def test_f7_residual_histories(benchmark, fet_small, fet_transport):
+    biases = [(-0.4, 0.05), (-0.15, 0.05), (0.0, 0.1)]
+
+    def run_all():
+        scf = SelfConsistentSolver(fet_small, fet_transport)
+        return [
+            (vg, vd, scf.run(vg, vd, continuation_step=0.0))
+            for vg, vd in biases
+        ]
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for vg, vd, out in outcomes:
+        hist = " ".join(f"{r:.0e}" for r in out.residuals[:8])
+        rows.append((
+            f"({vg:+.2f}, {vd:.2f})",
+            "yes" if out.converged else "NO",
+            out.n_iterations,
+            f"{out.residuals[-1]:.1e}",
+            hist,
+        ))
+    print_experiment(
+        "F7a",
+        "SCF residual vs iteration at three bias points",
+        "max|delta phi| (V) per Gummel iteration; Anderson-accelerated",
+    )
+    print(format_table(
+        ["(V_G, V_D)", "converged", "iters", "final residual",
+         "first 8 residuals"],
+        rows,
+    ))
+    for _, _, out in outcomes:
+        assert out.converged
+        assert out.residuals[-1] < out.residuals[0]
+
+
+def test_f7_mixing_ablation(benchmark, fet_small, fet_transport):
+    def ablate():
+        rows = []
+        for mixing in ("anderson", "linear"):
+            scf = SelfConsistentSolver(
+                fet_small, fet_transport, mixing=mixing, max_iterations=60
+            )
+            out = scf.run(-0.15, 0.05, continuation_step=0.0)
+            rows.append((mixing, "yes" if out.converged else "NO",
+                         out.n_iterations, f"{out.residuals[-1]:.1e}"))
+        return rows
+
+    rows = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    print_experiment(
+        "F7b",
+        "mixing ablation: Anderson vs plain damped (same bias point)",
+    )
+    print(format_table(["mixer", "converged", "iterations", "final"], rows))
+    anderson_iters = rows[0][2]
+    linear_iters = rows[1][2]
+    assert rows[0][1] == "yes"
+    assert anderson_iters <= linear_iters
+
+
+def test_f7_warm_start(benchmark, fet_small, fet_transport):
+    def warm():
+        scf = SelfConsistentSolver(fet_small, fet_transport)
+        cold = scf.run(-0.2, 0.05)
+        warm = scf.run(-0.18, 0.05, phi0=cold.phi)
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(warm, rounds=1, iterations=1)
+    print_experiment(
+        "F7c",
+        "warm-start acceleration (bias-sweep continuation)",
+        f"cold start: {cold.n_iterations} iterations; warm start from the "
+        f"neighbouring bias: {warm.n_iterations}",
+    )
+    assert warm.n_iterations <= cold.n_iterations

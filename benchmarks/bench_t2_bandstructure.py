@@ -1,0 +1,90 @@
+"""T2 — physics validation table: bulk band structure vs reference values.
+
+Regenerates the material-validation table: band gaps, gap character and
+conduction-valley positions of every parameterised material against the
+accepted experimental/published values the parameterisations were fit to.
+This is the "is the atomistic substrate right?" gate of the reproduction.
+"""
+
+import numpy as np
+from conftest import print_experiment
+
+from repro.io import format_table
+from repro.tb import (
+    bulk_band_edges,
+    effective_mass,
+    gaas_sp3s,
+    germanium_sp3s,
+    inas_sp3s,
+    silicon_sp3d5s,
+    silicon_sp3s,
+)
+
+#: (material factory, reference gap eV, direct?, valley)
+REFERENCES = [
+    (silicon_sp3s, 1.17, False, "X"),
+    (silicon_sp3d5s, 1.13, False, "X"),
+    (germanium_sp3s, 0.74, False, "L"),
+    (gaas_sp3s, 1.52, True, "Gamma"),
+    (inas_sp3s, 0.42, True, "Gamma"),
+]
+
+
+def compute_rows():
+    rows = []
+    checks = []
+    for factory, ref_gap, ref_direct, ref_valley in REFERENCES:
+        mat = factory()
+        be = bulk_band_edges(mat, n_samples=81)
+        valley = "Gamma" if be["direct"] else be["cbm_direction"]
+        rows.append((
+            mat.name,
+            f"{be['gap']:.3f}",
+            f"{ref_gap:.2f}",
+            f"{(be['gap'] - ref_gap) / ref_gap * 100:+.1f}%",
+            valley,
+            ref_valley,
+        ))
+        checks.append(
+            (abs(be["gap"] - ref_gap) / ref_gap < 0.12)
+            and (valley == ref_valley)
+        )
+    return rows, checks
+
+
+def test_t2_band_validation(benchmark):
+    rows, checks = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_experiment(
+        "T2",
+        "bulk band-structure validation",
+        "paper class: the TB parameterisations must reproduce the target"
+        " gaps/valleys they were fitted to",
+    )
+    print(format_table(
+        ["material", "gap (eV)", "reference", "error", "valley", "ref"],
+        rows,
+    ))
+    assert all(checks)
+
+
+def test_t2_effective_mass(benchmark):
+    def masses():
+        mat = gaas_sp3s()
+        m_e = effective_mass(mat, np.zeros(3), [1, 0, 0], band_index=4)
+        mat_si = silicon_sp3d5s()
+        be = bulk_band_edges(mat_si, n_samples=81)
+        # longitudinal electron mass at the Si X valley
+        m_l = effective_mass(mat_si, be["cbm_k"], [1, 0, 0], band_index=4)
+        return m_e, m_l
+
+    m_e, m_l = benchmark.pedantic(masses, rounds=1, iterations=1)
+    print_experiment("T2b", "effective masses")
+    print(format_table(
+        ["quantity", "computed (m0)", "reference"],
+        [
+            ("GaAs Gamma electron", f"{m_e:.3f}", "0.067 (sp3s* known high)"),
+            ("Si X-valley longitudinal", f"{m_l:.3f}", "0.916"),
+        ],
+    ))
+    assert 0.01 < m_e < 0.30
+    assert 0.5 < m_l < 1.5

@@ -1,0 +1,122 @@
+"""T3 — kernel cost breakdown: measured time + counted flops per kernel.
+
+Regenerates the per-kernel cost table: every computational kernel of the
+transport pipeline timed by pytest-benchmark on a fixed mid-size system,
+with its analytic flop count and the implied per-kernel MFlop/s.  This is
+the table that grounds the performance model's constants.
+"""
+
+import numpy as np
+import pytest
+from conftest import grid_transport_system, print_experiment
+
+from repro.negf import contact_self_energy, sancho_rubio
+from repro.negf.rgf import assemble_system_blocks
+from repro.perf import (
+    block_lu_factor_flops,
+    rgf_solve_flops,
+    sancho_rubio_flops,
+    wf_solve_flops,
+)
+from repro.solvers import BandedLU, BlockTridiagLU, SplitSolve
+from repro.wf import WFSolver
+
+ENERGY = 0.6
+
+
+@pytest.fixture(scope="module")
+def system():
+    H = grid_transport_system(n_x=16, n_yz=8)
+    sig_l = contact_self_energy(ENERGY, H.diagonal[0], H.upper[0], side="left")
+    sig_r = contact_self_energy(
+        ENERGY, H.diagonal[-1], H.upper[-1], side="right"
+    )
+    blocks = assemble_system_blocks(H, ENERGY, sig_l.sigma, sig_r.sigma)
+    return H, sig_l, sig_r, blocks
+
+
+def test_t3_surface_gf(benchmark, system):
+    H, _, _, _ = system
+    h00, h01 = H.diagonal[0], H.upper[0]
+    g, iters = benchmark(lambda: sancho_rubio(ENERGY, h00, h01))
+    m = h00.shape[0]
+    flops = sancho_rubio_flops(m, iters)
+    print_experiment(
+        "T3/surface_gf",
+        f"Sancho-Rubio m={m}: {iters} iterations, "
+        f"{flops / 1e6:.1f} MFlop counted",
+    )
+    assert iters < 60
+
+
+def test_t3_block_lu_factor(benchmark, system):
+    _, _, _, blocks = system
+    diag, upper, lower = blocks
+    lu = benchmark(lambda: BlockTridiagLU(diag, upper, lower))
+    m = diag[0].shape[0]
+    flops = block_lu_factor_flops(len(diag), m)
+    print_experiment(
+        "T3/block_lu",
+        f"block LU factor N={len(diag)}, m={m}: {flops / 1e6:.1f} MFlop",
+    )
+    assert lu.n_blocks == len(diag)
+
+
+def test_t3_rgf_full_solve(benchmark, system):
+    _, _, _, blocks = system
+    diag, upper, lower = blocks
+
+    def rgf():
+        lu = BlockTridiagLU(diag, upper, lower)
+        lu.solve_block_column(0)
+        lu.solve_block_column(len(diag) - 1)
+        lu.diagonal_of_inverse()
+
+    benchmark(rgf)
+    flops = rgf_solve_flops(len(diag), diag[0].shape[0])
+    print_experiment(
+        "T3/rgf", f"full RGF pass: {flops / 1e6:.1f} MFlop counted"
+    )
+
+
+def test_t3_wf_solve(benchmark, system):
+    H, sig_l, sig_r, _ = system
+    wf = WFSolver(H, injection_tol_ev=1e-4)
+
+    def solve():
+        lu = wf._factor(ENERGY, sig_l, sig_r)
+        return wf._scattering_states(lu, sig_l, 0)
+
+    psi = benchmark(solve)
+    n_rhs = psi.shape[1]
+    flops = wf_solve_flops(H.n_blocks, int(H.block_sizes.max()), n_rhs)
+    print_experiment(
+        "T3/wf",
+        f"WF factor + {n_rhs} channel solves: {flops / 1e6:.1f} MFlop",
+    )
+    assert n_rhs < H.block_sizes.max()
+
+
+def test_t3_banded_lu(benchmark, system):
+    _, _, _, blocks = system
+    diag, upper, lower = blocks
+    n = sum(d.shape[0] for d in diag)
+    rhs = np.ones((n, 4), dtype=complex)
+
+    def banded():
+        return BandedLU(diag, upper, lower).solve(rhs)
+
+    x = benchmark(banded)
+    assert x.shape == (n, 4)
+
+
+def test_t3_splitsolve(benchmark, system):
+    _, _, _, blocks = system
+    diag, upper, lower = blocks
+    rhs = [np.ones((d.shape[0], 4), dtype=complex) for d in diag]
+
+    def split():
+        return SplitSolve(diag, upper, lower, n_domains=4).solve(rhs)
+
+    x = benchmark(split)
+    assert len(x) == len(diag)

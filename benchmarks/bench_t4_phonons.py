@@ -1,0 +1,79 @@
+"""T4 (extension) — phonon spectra and ballistic thermal conductance.
+
+The companion workload of the authors' ecosystem (nanowire phonon spectra
+and thermal properties): regenerates the phonon-validation table (bulk Si
+dispersion landmarks from the Keating VFF) and the thermal-engineering
+figure (wire thermal conductance vs mass disorder), both running on the
+same surface-GF/RGF kernels as the electronic experiments.
+"""
+
+import numpy as np
+from conftest import print_experiment
+
+from repro.io import format_table
+from repro.lattice import ZincblendeCell, partition_into_slabs, zincblende_nanowire
+from repro.phonons import PhononTransport, bulk_phonon_bands
+
+SI = ZincblendeCell(0.5431, "Si", "Si")
+
+
+def test_t4_bulk_phonon_landmarks(benchmark):
+    def landmarks():
+        kx = 2 * np.pi / SI.a_nm
+        gamma = bulk_phonon_bands(SI, np.zeros((1, 3)))[0]
+        x = bulk_phonon_bands(SI, np.array([[kx, 0.0, 0.0]]))[0]
+        k_small = 0.1
+        f_small = bulk_phonon_bands(SI, np.array([[k_small, 0, 0]]))[0]
+        v = 2 * np.pi * f_small[:3] * 1e12 / (k_small * 1e9)
+        return gamma, x, v
+
+    gamma, x, v = benchmark.pedantic(landmarks, rounds=1, iterations=1)
+    rows = [
+        ("Raman LTO(Gamma) (THz)", f"{gamma[3]:.2f}", "15.5",
+         "Keating underestimates"),
+        ("TA(X) (THz)", f"{x[0]:.2f}", "4.5", "Keating overestimates"),
+        ("LA=LO(X) degeneracy (THz)", f"{x[2]:.2f} = {x[3]:.2f}", "12.3",
+         "exact degeneracy reproduced"),
+        ("v_TA[100] (m/s)", f"{v[0]:.0f}", "5840", ""),
+        ("v_LA[100] (m/s)", f"{v[2]:.0f}", "8430", ""),
+    ]
+    print_experiment(
+        "T4a",
+        "bulk Si phonon landmarks (Keating alpha=48.5, beta=13.8 N/m)",
+    )
+    print(format_table(["quantity", "computed", "experiment", "note"], rows))
+    assert abs(gamma[3] - gamma[5]) < 1e-3  # LTO triplet
+    assert abs(x[2] - x[3]) < 1e-2  # LA-LO degeneracy at X
+    assert 4000 < v[0] < 7000
+    assert 6000 < v[2] < 9500
+
+
+def test_t4_thermal_conductance_vs_disorder(benchmark):
+    def sweep():
+        wire = zincblende_nanowire(SI, 5, 1, 1)
+        dev = partition_into_slabs(wire, SI.a_nm, SI.bond_length_nm)
+        pt = PhononTransport(dev, n_device_slabs=6)
+        g_clean = pt.conductance(300.0, n_freq=24)
+        atoms = pt.dynamics.diagonal[0].shape[0] // 3 * 6
+        rng = np.random.default_rng(7)
+        rows = [("0.0", g_clean, 1.0)]
+        for frac in (0.1, 0.3):
+            masses = np.where(rng.random(atoms) < frac, 72.63, 28.0855)
+            pt_d = PhononTransport(dev, n_device_slabs=6, mass_override=masses)
+            g = pt_d.conductance(300.0, n_freq=24)
+            rows.append((f"{frac}", g, g / g_clean))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_experiment(
+        "T4b",
+        "wire thermal conductance vs mass disorder (300 K)",
+        "paper-ecosystem shape: ballistic G_th collapses with isotope/alloy"
+        " mass disorder",
+    )
+    print(format_table(
+        ["heavy fraction", "G_th (W/K)", "vs pristine"],
+        [(r[0], f"{r[1]:.3e}", f"{r[2]:.3f}") for r in rows],
+    ))
+    assert rows[0][1] > 0
+    assert all(r[2] < 0.5 for r in rows[1:])

@@ -1,0 +1,97 @@
+"""Resonant tunnelling diode: negative differential resistance.
+
+The classic validation device of quantum-transport codes (and of the
+NEMO/OMEN lineage specifically): a double-barrier structure whose
+quasi-bound level produces a transmission resonance; sweeping the bias
+slides the emitter window across the resonance, so the current *peaks and
+then drops* — negative differential resistance, impossible in any
+semiclassical model.
+
+Built here on the single-band effective-mass chain (exactly solvable
+substrate) with a linear potential drop across the double barrier; the
+adaptive energy grid resolves the resonance, which is far too narrow for
+any affordable uniform grid.
+
+Run:  python examples/resonant_tunneling_diode.py
+"""
+
+import numpy as np
+
+from repro.io import format_si, format_table
+from repro.negf import RGFSolver, landauer_current
+from repro.physics.constants import KT_ROOM, effective_mass_hopping
+from repro.physics.grids import AdaptiveEnergyGrid
+from repro.tb import BlockTridiagonalHamiltonian
+from repro.tb.chain import chain_blocks
+
+# --- device: GaAs-like effective-mass double barrier ----------------------
+# 7.3 nm well between 1.4 nm x 1 eV barriers: quasi-bound level E1 ~ 0.1 eV
+# with a sub-meV width -> a sharp transmission resonance.
+M_REL = 0.067
+SPACING = 0.28  # nm
+N_SITES = 56
+BARRIER_HEIGHT = 1.0  # eV
+BARRIER_SITES = (slice(10, 15), slice(41, 46))
+MU = 0.05  # emitter Fermi level above the band bottom
+
+
+def device_hamiltonian(v_bias: float) -> BlockTridiagonalHamiltonian:
+    """Double barrier + linear bias drop across the active region."""
+    t = effective_mass_hopping(M_REL, SPACING)
+    e0 = 2.0 * t  # 1-D band bottom at 0
+    pot = np.zeros(N_SITES)
+    for s in BARRIER_SITES:
+        pot[s] += BARRIER_HEIGHT
+    # linear drop between the outer barrier edges, flat leads
+    left, right = 10, 46
+    ramp = np.clip((np.arange(N_SITES) - left) / (right - left), 0.0, 1.0)
+    pot -= v_bias * ramp
+    diag, up = chain_blocks(N_SITES, e0, t, pot)
+    return BlockTridiagonalHamiltonian(diag, up)
+
+
+def current(v_bias: float) -> tuple[float, int]:
+    """Landauer current through the biased RTD (adaptive resonance capture)."""
+    H = device_hamiltonian(v_bias)
+    solver = RGFSolver(H, eta=1e-10)
+    mu_l, mu_r = MU, MU - v_bias
+    emin = 1e-4  # emitter band bottom
+    emax = MU + 10 * KT_ROOM
+    adaptive = AdaptiveEnergyGrid(emin, emax, n_initial=65, tol=1e-3,
+                                  max_points=1200)
+    grid = adaptive.refine(lambda e: solver.transmission(float(e)))
+    t_vals = adaptive.sampled_values(grid)
+    i = landauer_current(grid, t_vals, mu_l, mu_r, KT_ROOM)
+    return i, len(grid)
+
+
+def main():
+    biases = np.linspace(0.0, 0.36, 19)
+    rows = []
+    currents = []
+    for v in biases:
+        i, n_pts = current(float(v))
+        currents.append(i)
+        rows.append((f"{v:.3f}", format_si(i, "A"), n_pts))
+    print(format_table(
+        ["V bias (V)", "current", "adaptive E points"], rows,
+        title="resonant tunnelling diode I-V (double barrier, m* = 0.067)",
+    ))
+    currents = np.array(currents)
+    # the NDR peak is the bias maximising the peak-to-valley ratio
+    best_pvr, p_idx, v_idx = 0.0, 0, 0
+    for k in range(1, len(currents) - 1):
+        valley_k = int(currents[k + 1 :].argmin()) + k + 1
+        pvr = currents[k] / max(currents[valley_k], 1e-300)
+        if pvr > best_pvr:
+            best_pvr, p_idx, v_idx = pvr, k, valley_k
+    print(f"\npeak    : {format_si(currents[p_idx], 'A')} "
+          f"at {biases[p_idx]:.3f} V")
+    print(f"valley  : {format_si(currents[v_idx], 'A')} "
+          f"at {biases[v_idx]:.3f} V")
+    print(f"peak-to-valley ratio: {best_pvr:.1f} "
+          "(negative differential resistance)")
+
+
+if __name__ == "__main__":
+    main()

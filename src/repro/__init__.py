@@ -1,0 +1,56 @@
+"""repro — atomistic nanoelectronic device simulation at (simulated) petascale.
+
+A from-scratch Python reproduction of the OMEN quantum-transport simulator
+described in "Atomistic nanoelectronic device engineering with sustained
+performances up to 1.44 PFlop/s" (SC 2011): empirical tight-binding devices,
+NEGF/recursive-Green's-function and wave-function transport kernels,
+self-consistent Poisson electrostatics, and a four-level parallel
+decomposition with a calibrated performance model of the petascale machine.
+
+Subpackages
+-----------
+physics   constants, Fermi statistics, quadrature grids
+lattice   crystals, device geometry, neighbour tables, slabs
+tb        Slater-Koster Hamiltonians, materials, band structure
+solvers   block-tridiagonal and domain-decomposition linear algebra
+negf      surface Green's functions, RGF, transmission, observables
+wf        wave-function (QTBM) scattering-state transport
+poisson   finite-volume nonlinear electrostatics
+parallel  communicator abstraction and the 4-level work scheduler
+perf      flop accounting and the simulated-machine performance model
+core      device specs, transport facade, SCF driver, I-V engine
+io        device spec and result (de)serialisation
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    core,
+    io,
+    lattice,
+    negf,
+    parallel,
+    perf,
+    phonons,
+    physics,
+    poisson,
+    solvers,
+    tb,
+    wf,
+)
+
+__all__ = [
+    "core",
+    "io",
+    "lattice",
+    "negf",
+    "parallel",
+    "perf",
+    "phonons",
+    "physics",
+    "poisson",
+    "solvers",
+    "tb",
+    "wf",
+    "__version__",
+]

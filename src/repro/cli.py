@@ -1,0 +1,207 @@
+"""Command-line interface: device simulation from JSON specs.
+
+Four subcommands mirror the workflows of the library:
+
+* ``simulate`` — one self-consistent bias point of a device spec;
+* ``sweep``    — a transfer (Id-Vg) sweep;
+* ``bands``    — bulk band-structure summary of a material;
+* ``scaling``  — the performance-model projection table.
+
+Everything reads/writes plain JSON so the CLI composes with shell
+pipelines; ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="atomistic nanoelectronic device simulator (OMEN reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="one self-consistent bias point")
+    p_sim.add_argument("spec", help="device spec JSON file")
+    p_sim.add_argument("--vg", type=float, default=0.0, help="gate voltage (V)")
+    p_sim.add_argument("--vd", type=float, default=0.05, help="drain voltage (V)")
+    p_sim.add_argument("--method", choices=("wf", "rgf"), default="wf")
+    p_sim.add_argument("--n-energy", type=int, default=81)
+    p_sim.add_argument("-o", "--output", help="write results JSON here")
+
+    p_sweep = sub.add_parser("sweep", help="transfer (Id-Vg) sweep")
+    p_sweep.add_argument("spec")
+    p_sweep.add_argument("--vg-start", type=float, default=-0.4)
+    p_sweep.add_argument("--vg-stop", type=float, default=0.1)
+    p_sweep.add_argument("--vg-points", type=int, default=6)
+    p_sweep.add_argument("--vd", type=float, default=0.05)
+    p_sweep.add_argument("--method", choices=("wf", "rgf"), default="wf")
+    p_sweep.add_argument("--n-energy", type=int, default=81)
+    p_sweep.add_argument("-o", "--output")
+
+    p_bands = sub.add_parser("bands", help="bulk band summary of a material")
+    p_bands.add_argument("material", help="registry name, e.g. Si-sp3s*")
+
+    p_scale = sub.add_parser("scaling", help="performance-model projection")
+    p_scale.add_argument("--cores", type=int, nargs="+",
+                         default=[1024, 16384, 221130])
+    p_scale.add_argument("--algorithm", choices=("wf", "rgf"), default="wf")
+    return parser
+
+
+def _load_built(spec_path: str):
+    from .core import build_device
+    from .io import load_spec
+
+    return build_device(load_spec(spec_path))
+
+
+def _cmd_simulate(args) -> int:
+    from .core import SelfConsistentSolver, TransportCalculation
+    from .io import format_si, save_json
+
+    built = _load_built(args.spec)
+    transport = TransportCalculation(
+        built, method=args.method, n_energy=args.n_energy
+    )
+    scf = SelfConsistentSolver(built, transport)
+    result = scf.run(args.vg, args.vd)
+    print(f"device : {built.spec.name} ({built.n_atoms} atoms, "
+          f"{built.device.n_slabs} slabs)")
+    print(f"bias   : V_G = {args.vg} V, V_D = {args.vd} V")
+    print(f"SCF    : converged={result.converged} "
+          f"iterations={result.n_iterations}")
+    print(f"current: {format_si(result.transport.current_a, 'A')}")
+    if args.output:
+        save_json(
+            {
+                "v_gate": args.vg,
+                "v_drain": args.vd,
+                "current_a": result.transport.current_a,
+                "converged": result.converged,
+                "n_iterations": result.n_iterations,
+                "residuals": result.residuals,
+                "density_per_atom": result.transport.density_per_atom,
+                "counted_flops": result.flops.total,
+            },
+            args.output,
+        )
+        print(f"wrote  : {args.output}")
+    return 0 if result.converged else 2
+
+
+def _cmd_sweep(args) -> int:
+    from .core import (
+        IVSweep,
+        SelfConsistentSolver,
+        TransportCalculation,
+        subthreshold_swing_mv_dec,
+    )
+    from .io import format_si, format_table, save_json
+
+    built = _load_built(args.spec)
+    transport = TransportCalculation(
+        built, method=args.method, n_energy=args.n_energy
+    )
+    sweep = IVSweep(SelfConsistentSolver(built, transport))
+    vgs = np.linspace(args.vg_start, args.vg_stop, args.vg_points)
+    curve = sweep.transfer_curve(vgs, v_drain=args.vd)
+    rows = [
+        (f"{p.v_gate:+.3f}", format_si(p.current_a, "A"),
+         "yes" if p.converged else "NO")
+        for p in curve.points
+    ]
+    print(format_table(
+        ["V_G (V)", "I_D", "converged"], rows,
+        title=f"{built.spec.name}: transfer sweep at V_D = {args.vd} V",
+    ))
+    try:
+        ss = subthreshold_swing_mv_dec(curve.gate_voltages(), curve.currents())
+        print(f"subthreshold swing (fit): {ss:.1f} mV/dec")
+    except ValueError:
+        pass
+    print(f"on/off ratio: {curve.on_off_ratio():.3e}")
+    if args.output:
+        save_json(
+            {
+                "v_drain": args.vd,
+                "points": curve.points,
+                "counted_flops": curve.flops.total,
+            },
+            args.output,
+        )
+        print(f"wrote: {args.output}")
+    return 0 if all(p.converged for p in curve.points) else 2
+
+
+def _cmd_bands(args) -> int:
+    from .tb import bulk_band_edges, get_material
+
+    mat = get_material(args.material)
+    if mat.cell is None:
+        print(f"{mat.name}: single-band model, "
+              f"Ec = {mat.band_edges.get('Ec', 0.0)} eV, "
+              f"m* = {mat.band_edges.get('m_rel')}")
+        return 0
+    be = bulk_band_edges(mat, n_samples=81)
+    kind = "direct" if be["direct"] else f"indirect ({be['cbm_direction']})"
+    print(json.dumps(
+        {
+            "material": mat.name,
+            "gap_ev": round(be["gap"], 4),
+            "kind": kind,
+            "Ev": round(be["Ev"], 4),
+            "Ec": round(be["Ec"], 4),
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from .io import format_si, format_table
+    from .perf import JAGUAR_XT5, TransportWorkload, predict
+
+    workload = TransportWorkload(
+        n_slabs=130, block_size=4000, n_bias=15, n_k=21, n_energy=702,
+        n_channels=30, algorithm=args.algorithm, n_scf_iterations=3,
+    )
+    rows = []
+    for p in args.cores:
+        r = predict(workload, JAGUAR_XT5, p)
+        rows.append((
+            p, "x".join(map(str, r.groups)),
+            f"{r.walltime_s / 3600:.1f}",
+            format_si(r.sustained_flops, "Flop/s"),
+            f"{r.fraction_of_peak * 100:.0f}%",
+        ))
+    print(format_table(
+        ["cores", "groups", "walltime (h)", "sustained", "of peak"], rows,
+        title=f"modelled {args.algorithm.upper()} campaign on {JAGUAR_XT5.name}",
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
+        "bands": _cmd_bands,
+        "scaling": _cmd_scaling,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Driver layer: device specs, transport facade, SCF loop, I-V engine."""
+
+from .device import BuiltDevice, DeviceSpec, build_device
+from .distributed import DistributedTransport, PartialObservables
+from .iv import IVCurve, IVPoint, IVSweep, subthreshold_swing_mv_dec
+from .scf import SCFResult, SelfConsistentSolver
+from .transport import TransportCalculation, TransportResult
+
+__all__ = [
+    "BuiltDevice",
+    "DistributedTransport",
+    "PartialObservables",
+    "DeviceSpec",
+    "build_device",
+    "IVCurve",
+    "IVPoint",
+    "IVSweep",
+    "subthreshold_swing_mv_dec",
+    "SCFResult",
+    "SelfConsistentSolver",
+    "TransportCalculation",
+    "TransportResult",
+]

@@ -1,0 +1,221 @@
+"""Self-consistent Poisson-transport (Gummel) loop.
+
+One bias point of a transistor is a fixed point between two solvers:
+
+    transport(phi)  ->  electron density  n
+    Poisson(n)      ->  electrostatic potential  phi
+
+The loop implemented here is the standard quantum-device Gummel iteration:
+the quantum density from the transport kernel is wrapped in an exponential
+predictor (:class:`repro.poisson.QuantumCorrectedCharge`) so each Poisson
+solve is a damped Newton step on the *coupled* system, and the outer
+update is Anderson-accelerated.  Convergence histories (residual vs
+iteration, Anderson vs plain mixing) are experiment F7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perf.flops import FlopCounter
+from ..poisson.charge import QuantumCorrectedCharge, SemiclassicalCharge
+from ..poisson.nonlinear import AndersonMixer, NonlinearPoisson
+from .device import BuiltDevice
+from .transport import TransportCalculation, TransportResult
+
+__all__ = ["SCFResult", "SelfConsistentSolver"]
+
+
+@dataclass
+class SCFResult:
+    """Converged (or last) state of one bias point.
+
+    Attributes
+    ----------
+    phi : ndarray
+        Electrostatic potential per Poisson node (V).
+    potential_ev : ndarray
+        Electron potential energy per atom (eV).
+    transport : TransportResult
+        The final transport solve (current, T(E), density).
+    residuals : list of float
+        max|phi_new - phi_old| per iteration (V).
+    converged : bool
+    n_iterations : int
+    flops : FlopCounter
+        Accumulated over all transport solves of the bias point.
+    """
+
+    phi: np.ndarray
+    potential_ev: np.ndarray
+    transport: TransportResult
+    residuals: list
+    converged: bool
+    n_iterations: int
+    flops: FlopCounter
+
+
+class SelfConsistentSolver:
+    """Gummel-type Poisson-transport iteration for one device.
+
+    Parameters
+    ----------
+    built : BuiltDevice
+    transport : TransportCalculation or None
+        Defaults to a WF calculation with standard settings.
+    tol_v : float
+        Convergence threshold on max|delta phi| (V).
+    max_iterations : int
+    mixing : {"anderson", "linear"}
+        Outer-loop accelerator (ablated in experiment F7).
+    beta : float
+        Mixing damping.
+    """
+
+    def __init__(
+        self,
+        built: BuiltDevice,
+        transport: TransportCalculation | None = None,
+        tol_v: float = 2e-4,
+        max_iterations: int = 60,
+        mixing: str = "anderson",
+        beta: float = 0.6,
+    ):
+        if mixing not in ("anderson", "linear"):
+            raise ValueError("mixing must be 'anderson' or 'linear'")
+        self.built = built
+        self.transport = transport or TransportCalculation(built)
+        self.tol_v = tol_v
+        self.max_iterations = max_iterations
+        self.mixing = mixing
+        self.beta = beta
+        grid = built.poisson_grid
+        self._donor_nodes = grid.deposit(
+            built.device.structure.positions, built.donors_per_atom
+        ) / grid.node_volume()
+        self._poisson = {}  # one NonlinearPoisson per gate voltage
+
+    # ------------------------------------------------------------------
+    def _poisson_solver(self, v_gate: float) -> NonlinearPoisson:
+        if v_gate not in self._poisson:
+            self._poisson[v_gate] = NonlinearPoisson(
+                self.built.poisson_grid,
+                self.built.eps_r,
+                self._donor_nodes,
+                dirichlet_mask=self.built.gate_mask,
+                dirichlet_values=v_gate,
+            )
+        return self._poisson[v_gate]
+
+    def initial_potential(self, v_gate: float, v_drain: float) -> np.ndarray:
+        """Semiclassical equilibrium guess plus a linear drain ramp."""
+        built = self.built
+        model = SemiclassicalCharge(
+            mu=built.contact_mu("source"),
+            band_edge=built.band_edge,
+            m_rel=built.m_dos,
+            kT=built.spec.kT,
+            semiconductor_mask=built.semiconductor_mask,
+        )
+        solver = self._poisson_solver(v_gate)
+        res = solver.solve(model, tol=1e-8, max_iter=60)
+        phi = res.phi
+        # drain ramp: the drain floats up by v_drain (electron energy down)
+        x = built.poisson_grid.coordinates()[:, 0]
+        x0, x1 = x.min(), x.max()
+        ramp = v_drain * np.clip((x - x0) / max(x1 - x0, 1e-12), 0.0, 1.0)
+        phi = phi + np.where(self.built.gate_mask, 0.0, ramp)
+        return phi
+
+    def atom_potential_ev(self, phi: np.ndarray) -> np.ndarray:
+        """Electron potential energy per atom: U = -phi(atom) (eV)."""
+        return -self.built.poisson_grid.interpolate(
+            phi, self.built.device.structure.positions
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        v_gate: float,
+        v_drain: float,
+        phi0: np.ndarray | None = None,
+        continuation_step: float = 0.12,
+    ) -> SCFResult:
+        """Iterate to self-consistency at one (V_G, V_D) bias point.
+
+        Cold starts at large drain bias are ramped: the bias is applied in
+        steps of at most ``continuation_step`` volts, each warm-starting
+        the next (standard bias stepping — the high-bias fixed point is
+        only reachable from nearby potentials).  Pass
+        ``continuation_step=0`` to disable.
+        """
+        built = self.built
+        grid = built.poisson_grid
+        vol = grid.node_volume()
+        solver = self._poisson_solver(v_gate)
+        ramp_flops = FlopCounter()
+        ramp_iterations = 0
+        if (
+            phi0 is None
+            and continuation_step > 0
+            and abs(v_drain) > continuation_step
+        ):
+            n_steps = int(np.ceil(abs(v_drain) / continuation_step))
+            phi_ramp = None
+            for step in range(1, n_steps):
+                vd_step = v_drain * step / n_steps
+                stage = self.run(
+                    v_gate, vd_step, phi0=phi_ramp, continuation_step=0.0
+                )
+                phi_ramp = stage.phi
+                ramp_flops.merge(stage.flops)
+                ramp_iterations += stage.n_iterations
+            phi0 = phi_ramp
+        phi = (
+            self.initial_potential(v_gate, v_drain)
+            if phi0 is None
+            else np.array(phi0, dtype=float)
+        )
+        mixer = AndersonMixer(depth=4 if self.mixing == "anderson" else 0,
+                              beta=self.beta)
+        flops = FlopCounter()
+        residuals: list[float] = []
+        converged = False
+        transport_result: TransportResult | None = None
+
+        for _ in range(self.max_iterations):
+            u_atoms = self.atom_potential_ev(phi)
+            transport_result = self.transport.solve_bias(u_atoms, v_drain)
+            flops.merge(transport_result.flops)
+            n_nodes = grid.deposit(
+                built.device.structure.positions,
+                transport_result.density_per_atom,
+            ) / vol
+            model = QuantumCorrectedCharge(
+                n_reference=n_nodes, phi_reference=phi, kT=built.spec.kT
+            )
+            phi_new = solver.solve(model, phi0=phi, tol=1e-9, max_iter=40).phi
+            residual = float(np.abs(phi_new - phi).max())
+            residuals.append(residual)
+            phi = mixer.update(phi, phi_new)
+            phi[built.gate_mask] = v_gate
+            if residual < self.tol_v:
+                converged = True
+                break
+
+        assert transport_result is not None
+        # final transport at the converged potential for reporting
+        final = self.transport.solve_bias(self.atom_potential_ev(phi), v_drain)
+        flops.merge(final.flops)
+        flops.merge(ramp_flops)
+        return SCFResult(
+            phi=phi,
+            potential_ev=self.atom_potential_ev(phi),
+            transport=final,
+            residuals=residuals,
+            converged=converged,
+            n_iterations=len(residuals) + ramp_iterations,
+            flops=flops,
+        )

@@ -1,0 +1,319 @@
+"""Transport façade: one call from (device, potential, bias) to observables.
+
+:class:`TransportCalculation` wires together the Hamiltonian assembly, the
+contact construction, the energy/momentum grids and the chosen kernel (WF
+or RGF) and returns integrated currents and carrier densities.  It is the
+unit of work the SCF loop and the I-V engine repeat, and the unit the
+parallel scheduler distributes: one ``(k, E)`` kernel call per
+:class:`repro.parallel.WorkItem`.
+
+Flop accounting: every kernel invocation is charged to a
+:class:`repro.perf.FlopCounter` using the analytic per-kernel formulas, so
+a run reports its own (counted-flops / wall-time) sustained performance —
+the same accounting convention as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
+from ..negf.rgf import RGFSolver
+from ..perf.flops import (
+    FlopCounter,
+    rgf_solve_flops,
+    sancho_rubio_flops,
+    wf_solve_flops,
+)
+from ..physics.grids import EnergyGrid, fermi_window_grid
+from ..tb.hamiltonian import build_device_hamiltonian, wire_bloch_hamiltonian
+from ..wf.qtbm import WFSolver
+from .device import BuiltDevice
+
+__all__ = ["TransportResult", "TransportCalculation"]
+
+
+@dataclass
+class TransportResult:
+    """Integrated observables of one bias point at a fixed potential.
+
+    Attributes
+    ----------
+    energy_grid : EnergyGrid
+    transmission : ndarray, shape (n_k, n_E)
+        T(E, k).
+    current_a : float
+        Terminal current (A).
+    density_per_atom : ndarray
+        Electrons per atom (all k and E integrated).
+    mu_source, mu_drain : float
+        Contact chemical potentials used (eV).
+    channels : ndarray, shape (n_k, n_E)
+        Open source-side channels per sample.
+    flops : FlopCounter
+        Analytic flop account of this solve.
+    """
+
+    energy_grid: EnergyGrid
+    transmission: np.ndarray
+    current_a: float
+    density_per_atom: np.ndarray
+    mu_source: float
+    mu_drain: float
+    channels: np.ndarray
+    flops: FlopCounter
+
+
+class TransportCalculation:
+    """Repeatable ballistic transport solve for a built device.
+
+    Parameters
+    ----------
+    built : BuiltDevice
+        Output of :func:`repro.core.build_device`.
+    method : {"wf", "rgf"}
+        Transport kernel (the paper's two algorithms).
+    n_energy : int
+        Energy nodes of the integration window.
+    eta : float
+        Retarded infinitesimal (eV).
+    surface_method : {"sancho", "eigen"}
+        Contact surface-GF algorithm.
+    n_kT_window : float
+        Half-width of the Fermi window in units of kT.
+    """
+
+    def __init__(
+        self,
+        built: BuiltDevice,
+        method: str = "wf",
+        n_energy: int = 81,
+        eta: float = 1e-6,
+        surface_method: str = "sancho",
+        n_kT_window: float = 12.0,
+        energy_mode: str = "uniform",
+        adaptive_tol: float = 0.02,
+        max_energy_points: int = 512,
+    ):
+        if method not in ("wf", "rgf"):
+            raise ValueError("method must be 'wf' or 'rgf'")
+        if energy_mode not in ("uniform", "adaptive"):
+            raise ValueError("energy_mode must be 'uniform' or 'adaptive'")
+        self.built = built
+        self.method = method
+        self.n_energy = n_energy
+        self.eta = eta
+        self.surface_method = surface_method
+        self.n_kT_window = n_kT_window
+        self.energy_mode = energy_mode
+        self.adaptive_tol = adaptive_tol
+        self.max_energy_points = max_energy_points
+        self.spin_degeneracy = 1 if built.material.basis.spin else 2
+
+    # ------------------------------------------------------------------
+    def hamiltonian(self, potential_ev: np.ndarray, k_transverse: float = 0.0):
+        """Device Hamiltonian at a given per-atom potential energy (eV)."""
+        return build_device_hamiltonian(
+            self.built.device,
+            self.built.material,
+            potential=potential_ev,
+            k_transverse=k_transverse,
+        )
+
+    def lead_band_minimum(self, H) -> float:
+        """Lowest conduction subband bottom over both leads.
+
+        Sampled over a coarse k_x grid of the lead Bloch Hamiltonian; for
+        full-band materials only subbands above the bulk midgap count
+        (electron transport window).
+        """
+        period = self.built.device.slab_length_nm
+        floor = -np.inf
+        if self.built.material.cell is not None:
+            floor = self._midgap_reference()
+        out = np.inf
+        for h00, h01 in (
+            (H.diagonal[0], H.upper[0]),
+            (H.diagonal[-1], H.upper[-1]),
+        ):
+            for kx in np.linspace(0.0, np.pi / period, 7):
+                ev = np.linalg.eigvalsh(
+                    wire_bloch_hamiltonian(h00, h01, kx, period)
+                )
+                above = ev[ev > floor]
+                if above.size:
+                    out = min(out, float(above.min()))
+        if not np.isfinite(out):
+            raise RuntimeError("no conduction states found in the leads")
+        return out
+
+    def _midgap_reference(self) -> float:
+        """Bulk midgap energy of the device material (cached)."""
+        if not hasattr(self, "_midgap"):
+            from ..tb.bands import bulk_band_edges
+
+            be = bulk_band_edges(self.built.material, n_samples=31)
+            self._midgap = 0.5 * (be["Ec"] + be["Ev"])
+        return self._midgap
+
+    def energy_grid(
+        self, potential_ev: np.ndarray, v_drain: float
+    ) -> EnergyGrid:
+        """Integration window: Fermi window clipped at the lead band bottom."""
+        mu_s = self.built.contact_mu("source")
+        mu_d = self.built.contact_mu("drain", v_drain)
+        H0 = self.hamiltonian(potential_ev, self.built.momentum_grid.k_points[0])
+        bottom = self.lead_band_minimum(H0) - 2.0 * self.built.spec.kT
+        return fermi_window_grid(
+            [mu_s, mu_d],
+            kT=self.built.spec.kT,
+            n_points=self.n_energy,
+            n_kT=self.n_kT_window,
+            band_bottom=bottom,
+        )
+
+    def _make_solver(self, H):
+        if self.method == "rgf":
+            return RGFSolver(
+                H, eta=self.eta, surface_method=self.surface_method
+            )
+        return WFSolver(H, eta=self.eta, surface_method=self.surface_method)
+
+    def _charge_flops(self, counter: FlopCounter, H, n_channels: int) -> None:
+        n = H.n_blocks
+        m = int(H.block_sizes.max())
+        counter.add("surface_gf", 2 * sancho_rubio_flops(m, 25))
+        if self.method == "rgf":
+            counter.add("rgf", rgf_solve_flops(n, m))
+        else:
+            counter.add("wf", wf_solve_flops(n, m, max(n_channels, 1)))
+
+    # ------------------------------------------------------------------
+    def solve_bias(
+        self,
+        potential_ev: np.ndarray,
+        v_drain: float,
+        energy_grid: EnergyGrid | None = None,
+    ) -> TransportResult:
+        """Full (k, E) sweep at one bias and potential.
+
+        Parameters
+        ----------
+        potential_ev : ndarray
+            Electron potential energy per atom (eV) — note the sign:
+            potential energy, i.e. -phi for an electrostatic potential phi
+            in volts.
+        v_drain : float
+            Drain bias (V); the drain chemical potential is mu_S - v_drain.
+        energy_grid : EnergyGrid or None
+            Override the automatic window (used by the adaptive-grid bench).
+        """
+        built = self.built
+        kT = built.spec.kT
+        mu_s = built.contact_mu("source")
+        mu_d = built.contact_mu("drain", v_drain)
+        grid = energy_grid or self.energy_grid(potential_ev, v_drain)
+        kgrid = built.momentum_grid
+        n_e = len(grid)
+        n_k = len(kgrid)
+
+        flops = FlopCounter()
+        n_orb = built.material.orbitals_per_atom
+        density = np.zeros(built.n_atoms)
+        per_k_grids: list[EnergyGrid] = []
+        per_k_T: list[np.ndarray] = []
+        per_k_channels: list[np.ndarray] = []
+        currents = 0.0
+
+        for ik, (k, wk) in enumerate(zip(kgrid.k_points, kgrid.weights)):
+            H = self.hamiltonian(potential_ev, k)
+            solver = self._make_solver(H)
+            cache: dict[float, object] = {}
+
+            def sample(energy: float):
+                e = float(energy)
+                if e not in cache:
+                    res = solver.solve(e)
+                    cache[e] = res
+                    self._charge_flops(flops, H, res.n_channels_left)
+                return cache[e]
+
+            if self.energy_mode == "adaptive" and energy_grid is None:
+                from ..physics.fermi import fermi_dirac
+                from ..physics.grids import AdaptiveEnergyGrid
+
+                def indicator(energy: float) -> float:
+                    res = sample(energy)
+                    fl = float(fermi_dirac(energy, mu_s, kT))
+                    fr = float(fermi_dirac(energy, mu_d, kT))
+                    return float(
+                        res.spectral_left.sum() * fl
+                        + res.spectral_right.sum() * fr
+                    )
+
+                scale = max(built.n_atoms * 0.1, 1.0)
+                refiner = AdaptiveEnergyGrid(
+                    float(grid.energies.min()),
+                    float(grid.energies.max()),
+                    n_initial=max(self.n_energy // 2, 9),
+                    tol=self.adaptive_tol * scale,
+                    max_points=self.max_energy_points,
+                )
+                k_grid_e = refiner.refine(indicator)
+            else:
+                k_grid_e = grid
+                for energy in k_grid_e.energies:
+                    sample(energy)
+
+            n_e_k = len(k_grid_e)
+            spectral_l = np.zeros((n_e_k, H.total_size))
+            spectral_r = np.zeros((n_e_k, H.total_size))
+            t_k = np.zeros(n_e_k)
+            ch_k = np.zeros(n_e_k, dtype=int)
+            for ie, energy in enumerate(k_grid_e.energies):
+                res = sample(energy)
+                t_k[ie] = res.transmission
+                ch_k[ie] = res.n_channels_left
+                spectral_l[ie] = res.spectral_left
+                spectral_r[ie] = res.spectral_right
+            n_orbital = carrier_density(
+                k_grid_e, spectral_l, spectral_r, mu_s, mu_d, kT,
+                spin_degeneracy=self.spin_degeneracy,
+            )
+            density += wk * orbital_to_atom(n_orbital, n_orb)
+            currents += wk * landauer_current(
+                k_grid_e, t_k, mu_s, mu_d, kT,
+                spin_degeneracy=self.spin_degeneracy,
+            )
+            per_k_grids.append(k_grid_e)
+            per_k_T.append(t_k)
+            per_k_channels.append(ch_k)
+
+        # report T(E,k) resampled on the common base grid (exact when the
+        # per-k grids equal the base grid, interpolated otherwise)
+        transmission = np.zeros((n_k, n_e))
+        channels = np.zeros((n_k, n_e), dtype=int)
+        for ik in range(n_k):
+            transmission[ik] = np.interp(
+                grid.energies, per_k_grids[ik].energies, per_k_T[ik]
+            )
+            channels[ik] = np.round(
+                np.interp(
+                    grid.energies,
+                    per_k_grids[ik].energies,
+                    per_k_channels[ik].astype(float),
+                )
+            ).astype(int)
+
+        return TransportResult(
+            energy_grid=grid,
+            transmission=transmission,
+            current_a=currents,
+            density_per_atom=density,
+            mu_source=mu_s,
+            mu_drain=mu_d,
+            channels=channels,
+            flops=flops,
+        )

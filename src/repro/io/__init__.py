@@ -1,0 +1,24 @@
+"""Spec/result serialisation and table formatting."""
+
+from .spec import (
+    load_json,
+    load_spec,
+    result_to_dict,
+    save_json,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+from .tables import format_si, format_table
+
+__all__ = [
+    "load_json",
+    "load_spec",
+    "result_to_dict",
+    "save_json",
+    "save_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+    "format_si",
+    "format_table",
+]

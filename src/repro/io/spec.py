@@ -1,0 +1,94 @@
+"""Device-spec and result (de)serialisation.
+
+Device engineering workflows script many variants of a structure; specs are
+therefore plain JSON documents.  Round-tripping through
+:func:`spec_to_dict` / :func:`spec_from_dict` is exact (tested), and
+results serialise to JSON-compatible dicts with numpy arrays flattened to
+lists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.device import DeviceSpec
+
+__all__ = [
+    "spec_to_dict",
+    "spec_from_dict",
+    "save_spec",
+    "load_spec",
+    "result_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def spec_to_dict(spec: DeviceSpec) -> dict:
+    """DeviceSpec -> JSON-compatible dict."""
+    out = dataclasses.asdict(spec)
+    out["gate_cells"] = list(out["gate_cells"])
+    return out
+
+
+def spec_from_dict(data: dict) -> DeviceSpec:
+    """Dict -> DeviceSpec (unknown keys rejected loudly)."""
+    known = {f.name for f in dataclasses.fields(DeviceSpec)}
+    unknown = set(data) - known
+    if unknown:
+        raise KeyError(f"unknown DeviceSpec fields: {sorted(unknown)}")
+    data = dict(data)
+    if "gate_cells" in data:
+        data["gate_cells"] = tuple(data["gate_cells"])
+    return DeviceSpec(**data)
+
+
+def save_spec(spec: DeviceSpec, path) -> None:
+    """Write a spec as JSON."""
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=2))
+
+
+def load_spec(path) -> DeviceSpec:
+    """Read a spec from JSON."""
+    return spec_from_dict(json.loads(Path(path).read_text()))
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        if np.iscomplexobj(value):
+            return {"real": value.real.tolist(), "imag": value.imag.tolist()}
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    return value
+
+
+def result_to_dict(result) -> dict:
+    """Generic dataclass/array result -> JSON-compatible dict."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return _jsonable(dataclasses.asdict(result))
+    if isinstance(result, dict):
+        return _jsonable(result)
+    raise TypeError(f"cannot serialise {type(result).__name__}")
+
+
+def save_json(obj, path) -> None:
+    """Serialise any dataclass/dict result tree to a JSON file."""
+    Path(path).write_text(json.dumps(_jsonable(obj), indent=2))
+
+
+def load_json(path) -> dict:
+    """Read back a JSON result file."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,61 @@
+"""ASCII table formatting shared by the benchmark harness.
+
+Every benchmark regenerates its table/figure data as rows; this module
+renders them uniformly so the EXPERIMENTS.md records and the bench stdout
+stay consistent.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_si"]
+
+_SI_PREFIXES = [
+    (1e18, "E"),
+    (1e15, "P"),
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Engineering notation: 1.44e15 -> \"1.44 P\" (+ unit)."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    a = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if a >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by
+    the caller for unit control.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

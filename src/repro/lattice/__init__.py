@@ -1,0 +1,51 @@
+"""Crystal and device geometry: structures, lattices, neighbours, slabs."""
+
+from .device_geometry import (
+    prune_undercoordinated_periodic_x,
+    prune_undercoordinated,
+    rectangular_grid_device,
+    replicate,
+    zincblende_nanowire,
+    zincblende_ultra_thin_body,
+)
+from .neighbors import NeighborTable, build_neighbor_table
+from .passivation import (
+    DEFAULT_PASSIVATION_SHIFT_EV,
+    DanglingBond,
+    count_dangling_per_atom,
+    find_dangling_bonds,
+)
+from .slabs import SlabbedDevice, partition_into_slabs
+from .structure import AtomicStructure
+from .zincblende import (
+    TETRAHEDRAL_BONDS,
+    ZincblendeCell,
+    bond_length,
+    conventional_cell,
+    high_symmetry_points,
+    primitive_cell_info,
+)
+
+__all__ = [
+    "AtomicStructure",
+    "NeighborTable",
+    "build_neighbor_table",
+    "SlabbedDevice",
+    "partition_into_slabs",
+    "ZincblendeCell",
+    "TETRAHEDRAL_BONDS",
+    "bond_length",
+    "conventional_cell",
+    "primitive_cell_info",
+    "high_symmetry_points",
+    "zincblende_nanowire",
+    "zincblende_ultra_thin_body",
+    "rectangular_grid_device",
+    "prune_undercoordinated",
+    "prune_undercoordinated_periodic_x",
+    "replicate",
+    "DanglingBond",
+    "find_dangling_bonds",
+    "count_dangling_per_atom",
+    "DEFAULT_PASSIVATION_SHIFT_EV",
+]

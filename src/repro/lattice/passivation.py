@@ -1,0 +1,79 @@
+"""Dangling-bond detection and hybrid passivation.
+
+Cutting a wire or film out of the crystal leaves surface atoms with fewer
+than four neighbours.  Left alone, the unsaturated sp3 hybrids produce
+surface states in the band gap which wreck transport calculations.  The
+standard empirical-TB cure (Lee, Oyafuso, von Allmen & Klimeck, PRB 69,
+045316 (2004), the passivation used by NEMO/OMEN) raises the energy of each
+dangling hybrid by a large shift ``V_pass``, pushing the surface states far
+above the energy window of interest — the algebra of the hybrid projector is
+applied in :mod:`repro.tb.hamiltonian`; this module only finds the dangling
+directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .neighbors import NeighborTable
+from .structure import AtomicStructure
+from .zincblende import TETRAHEDRAL_BONDS
+
+__all__ = ["DanglingBond", "find_dangling_bonds", "DEFAULT_PASSIVATION_SHIFT_EV"]
+
+#: Default dangling-hybrid energy shift (eV).  Any value large compared to
+#: the band width (~10 eV) works; production codes use O(10-100) eV.
+DEFAULT_PASSIVATION_SHIFT_EV: float = 30.0
+
+
+@dataclass(frozen=True)
+class DanglingBond:
+    """One unsaturated bond: the atom and the unit vector of the missing bond."""
+
+    atom: int
+    direction: np.ndarray  # unit vector, shape (3,)
+
+
+def find_dangling_bonds(
+    structure: AtomicStructure,
+    table: NeighborTable,
+    angle_tol_deg: float = 10.0,
+) -> list[DanglingBond]:
+    """Identify missing tetrahedral bonds of every zincblende atom.
+
+    For each atom, the four ideal bond directions of its sublattice are
+    compared against the directions of its actual bonds; ideal directions
+    with no actual bond within ``angle_tol_deg`` are reported as dangling.
+
+    Atoms of the pseudo-species "X" (single-band grid) are skipped — the
+    grid model confines by its hard-wall boundary and needs no passivation.
+    """
+    cos_tol = np.cos(np.deg2rad(angle_tol_deg))
+    dangling: list[DanglingBond] = []
+    ideal_a = TETRAHEDRAL_BONDS / np.linalg.norm(TETRAHEDRAL_BONDS, axis=1)[:, None]
+    for atom in range(structure.n_atoms):
+        if structure.species[atom] == "X":
+            continue
+        ideal = ideal_a if structure.sublattice[atom] == 0 else -ideal_a
+        bond_rows = table.bonds_of(atom)
+        if bond_rows.size:
+            d = table.displacement[bond_rows]
+            d = d / np.linalg.norm(d, axis=1)[:, None]
+        else:
+            d = np.zeros((0, 3))
+        for direction in ideal:
+            if d.shape[0] == 0 or np.max(d @ direction) < cos_tol:
+                dangling.append(DanglingBond(atom, direction.copy()))
+    return dangling
+
+
+def count_dangling_per_atom(
+    structure: AtomicStructure, dangling: list[DanglingBond]
+) -> np.ndarray:
+    """Histogram of dangling bonds per atom (diagnostics and tests)."""
+    out = np.zeros(structure.n_atoms, dtype=int)
+    for db in dangling:
+        out[db.atom] += 1
+    return out

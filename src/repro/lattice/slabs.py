@@ -1,0 +1,172 @@
+"""Partitioning a device into principal layers ("slabs") for transport.
+
+With nearest-neighbour tight binding, grouping atoms into slabs of length
+>= the transport-direction period makes the Hamiltonian block tridiagonal:
+
+    H = [[H00, H01, 0 , ...],
+         [H10, H11, H12, ...],
+         [ 0 , H21, H22, ...], ...]
+
+Every transport kernel in :mod:`repro.negf`, :mod:`repro.wf` and
+:mod:`repro.solvers` consumes this block structure; the two end slabs double
+as the unit cells of the semi-infinite contact leads, so they must repeat
+the geometry of their inner neighbours exactly.  :func:`partition_into_slabs`
+canonicalises the atom order so that identical slabs receive identical
+internal ordering (a plain lexicographic sort of the in-slab coordinates),
+which makes lead blocks equal as matrices, not just as geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .neighbors import NeighborTable, build_neighbor_table
+from .structure import AtomicStructure
+
+__all__ = ["SlabbedDevice", "partition_into_slabs"]
+
+_ROUND_DECIMALS = 6  # nm; coordinates are exact multiples of a/4 in practice
+
+
+@dataclass(frozen=True)
+class SlabbedDevice:
+    """A slab-ordered device ready for Hamiltonian assembly.
+
+    Attributes
+    ----------
+    structure : AtomicStructure
+        Atoms reordered slab-by-slab (and canonically within each slab).
+    slab_starts : ndarray of int, shape (n_slabs + 1,)
+        ``slab_starts[s] : slab_starts[s+1]`` indexes the atoms of slab s.
+    slab_length_nm : float
+        Slab pitch along x.
+    neighbor_table : NeighborTable
+        Bond list of the *reordered* structure.
+    """
+
+    structure: AtomicStructure
+    slab_starts: np.ndarray
+    slab_length_nm: float
+    neighbor_table: NeighborTable
+
+    @property
+    def n_slabs(self) -> int:
+        """Number of slabs."""
+        return self.slab_starts.size - 1
+
+    def slab_indices(self, s: int) -> np.ndarray:
+        """Atom indices (into the reordered structure) of slab ``s``."""
+        self._check_slab(s)
+        return np.arange(self.slab_starts[s], self.slab_starts[s + 1])
+
+    def slab_size(self, s: int) -> int:
+        """Number of atoms in slab ``s``."""
+        self._check_slab(s)
+        return int(self.slab_starts[s + 1] - self.slab_starts[s])
+
+    def slab_of_atom(self) -> np.ndarray:
+        """Array mapping atom index -> slab index."""
+        out = np.empty(self.structure.n_atoms, dtype=int)
+        for s in range(self.n_slabs):
+            out[self.slab_starts[s] : self.slab_starts[s + 1]] = s
+        return out
+
+    def slab_structure(self, s: int) -> AtomicStructure:
+        """The atoms of slab ``s`` as a standalone structure."""
+        return self.structure.take(self.slab_indices(s))
+
+    def uniform_slab_size(self) -> int:
+        """Common slab size, or raise if slabs differ (tapered devices)."""
+        sizes = np.diff(self.slab_starts)
+        if not np.all(sizes == sizes[0]):
+            raise ValueError(f"slabs are not uniform: sizes {sizes}")
+        return int(sizes[0])
+
+    def lead_is_periodic(self, side: str, rtol: float = 1e-6) -> bool:
+        """True if the end slab repeats its inner neighbour's geometry.
+
+        ``side`` is "left" (slabs 0 and 1) or "right" (slabs -1 and -2).
+        The contact construction requires this: the semi-infinite lead is
+        modelled as infinitely many copies of the end slab.
+        """
+        if self.n_slabs < 2:
+            return False
+        if side == "left":
+            s0, s1 = 0, 1
+        elif side == "right":
+            s0, s1 = self.n_slabs - 1, self.n_slabs - 2
+        else:
+            raise ValueError("side must be 'left' or 'right'")
+        a = self.slab_structure(s0)
+        b = self.slab_structure(s1)
+        if a.n_atoms != b.n_atoms or a.species != b.species:
+            return False
+        ra = a.positions - a.positions.min(axis=0)
+        rb = b.positions - b.positions.min(axis=0)
+        return bool(np.allclose(ra, rb, atol=rtol + 1e-9))
+
+    def _check_slab(self, s: int) -> None:
+        if not 0 <= s < self.n_slabs:
+            raise IndexError(f"slab {s} out of range [0, {self.n_slabs})")
+
+
+def partition_into_slabs(
+    structure: AtomicStructure,
+    slab_length_nm: float,
+    cutoff_nm: float,
+) -> SlabbedDevice:
+    """Order atoms into slabs of pitch ``slab_length_nm`` along x.
+
+    Within each slab, atoms are sorted lexicographically by their
+    (x - slab origin, y, z) coordinates rounded to 1e-6 nm, so structurally
+    identical slabs acquire identical orderings.  The bond table (cutoff
+    ``cutoff_nm``) is rebuilt for the reordered structure, and a
+    ``ValueError`` is raised if any bond couples non-adjacent slabs (the
+    slab pitch was chosen smaller than the interaction range).
+
+    Parameters
+    ----------
+    structure : AtomicStructure
+        Device atoms (any order).
+    slab_length_nm : float
+        Slab pitch; must be an (approximate) divisor of the x extent plus
+        one pitch, i.e. the device must contain an integer number of slabs.
+    cutoff_nm : float
+        Nearest-neighbour bond length used to build and verify the bonds.
+    """
+    if slab_length_nm <= 0:
+        raise ValueError("slab length must be positive")
+    x = structure.positions[:, 0]
+    x0 = x.min()
+    slab_of = np.floor((x - x0) / slab_length_nm + 1e-9).astype(int)
+    n_slabs = int(slab_of.max()) + 1
+    if n_slabs < 2:
+        raise ValueError("device must contain at least 2 slabs")
+
+    rel = structure.positions.copy()
+    rel[:, 0] -= x0 + slab_of * slab_length_nm
+    rel = np.round(rel, _ROUND_DECIMALS)
+    # lexsort: last key is primary -> sort by slab, then x_rel, y, z.
+    order = np.lexsort((rel[:, 2], rel[:, 1], rel[:, 0], slab_of))
+    reordered = structure.take(order)
+    slab_sorted = slab_of[order]
+    starts = np.searchsorted(slab_sorted, np.arange(n_slabs + 1))
+    if np.any(np.diff(starts) == 0):
+        raise ValueError("empty slab encountered; bad slab length")
+
+    table = build_neighbor_table(reordered, cutoff_nm)
+    new_slab_of = slab_sorted
+    jump = np.abs(new_slab_of[table.i] - new_slab_of[table.j])
+    if table.n_bonds and int(jump.max()) > 1:
+        raise ValueError(
+            "bonds couple non-adjacent slabs; increase the slab length "
+            f"(max slab jump = {int(jump.max())})"
+        )
+    return SlabbedDevice(
+        structure=reordered,
+        slab_starts=starts.astype(int),
+        slab_length_nm=float(slab_length_nm),
+        neighbor_table=table,
+    )

@@ -1,0 +1,133 @@
+"""Atomic structure container shared by all geometry and Hamiltonian code.
+
+An :class:`AtomicStructure` is a flat list of atoms (positions in nm +
+species strings) plus optional transverse periodicity.  It deliberately
+knows nothing about orbitals or tight-binding parameters — those live in
+:mod:`repro.tb` — so that the same geometry can be paired with different
+basis sets (the paper runs the same devices in sp3s* and sp3d5s*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["AtomicStructure"]
+
+
+@dataclass
+class AtomicStructure:
+    """A collection of atoms forming (part of) a device.
+
+    Attributes
+    ----------
+    positions : ndarray, shape (N, 3)
+        Cartesian atom positions in nm.  Transport is along x.
+    species : list of str
+        Chemical species per atom (e.g. "Si", "Ga", "As", or the pseudo
+        species "X" of the single-band grid material).
+    periodic_y : float or None
+        If not None, the structure is periodic along y with this period
+        (nm) — the ultra-thin-body case.  Bonds crossing the boundary wrap
+        around and acquire a Bloch phase in the Hamiltonian.
+    sublattice : ndarray of int, shape (N,)
+        0 for the anion / A sublattice, 1 for the cation / B sublattice
+        (all zeros for monatomic grids).  Used by passivation and tests.
+    """
+
+    positions: np.ndarray
+    species: list
+    periodic_y: float | None = None
+    sublattice: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.positions = np.atleast_2d(np.asarray(self.positions, dtype=float))
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError(f"positions must be (N, 3), got {self.positions.shape}")
+        self.species = list(self.species)
+        if len(self.species) != self.positions.shape[0]:
+            raise ValueError(
+                f"{len(self.species)} species for {self.positions.shape[0]} positions"
+            )
+        if self.sublattice is None:
+            self.sublattice = np.zeros(len(self.species), dtype=int)
+        else:
+            self.sublattice = np.asarray(self.sublattice, dtype=int)
+            if self.sublattice.shape != (len(self.species),):
+                raise ValueError("sublattice must be (N,)")
+        if self.periodic_y is not None and self.periodic_y <= 0:
+            raise ValueError("periodic_y must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms."""
+        return self.positions.shape[0]
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """(min_corner, max_corner) of the atom positions, each shape (3,)."""
+        return self.positions.min(axis=0), self.positions.max(axis=0)
+
+    def extent(self) -> np.ndarray:
+        """Box edge lengths (max - min) along x, y, z."""
+        lo, hi = self.bounding_box()
+        return hi - lo
+
+    def unique_species(self) -> list[str]:
+        """Sorted list of distinct species present."""
+        return sorted(set(self.species))
+
+    # ------------------------------------------------------------------
+    def select(self, mask: Iterable[bool] | np.ndarray) -> "AtomicStructure":
+        """Sub-structure of the atoms where ``mask`` is True (order kept)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_atoms,):
+            raise ValueError("mask must have one entry per atom")
+        idx = np.flatnonzero(mask)
+        return self.take(idx)
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "AtomicStructure":
+        """Sub-structure / reordering by explicit atom indices."""
+        idx = np.asarray(indices, dtype=int)
+        return AtomicStructure(
+            positions=self.positions[idx].copy(),
+            species=[self.species[i] for i in idx],
+            periodic_y=self.periodic_y,
+            sublattice=self.sublattice[idx].copy(),
+        )
+
+    def translated(self, shift) -> "AtomicStructure":
+        """Copy with all positions shifted by ``shift`` (length-3)."""
+        shift = np.asarray(shift, dtype=float)
+        if shift.shape != (3,):
+            raise ValueError("shift must be length 3")
+        return AtomicStructure(
+            positions=self.positions + shift,
+            species=list(self.species),
+            periodic_y=self.periodic_y,
+            sublattice=self.sublattice.copy(),
+        )
+
+    def merged_with(self, other: "AtomicStructure") -> "AtomicStructure":
+        """Concatenation of two structures (periodicities must match)."""
+        if (self.periodic_y is None) != (other.periodic_y is None) or (
+            self.periodic_y is not None
+            and not np.isclose(self.periodic_y, other.periodic_y)
+        ):
+            raise ValueError("cannot merge structures with different periodicity")
+        return AtomicStructure(
+            positions=np.vstack([self.positions, other.positions]),
+            species=list(self.species) + list(other.species),
+            periodic_y=self.periodic_y,
+            sublattice=np.concatenate([self.sublattice, other.sublattice]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ext = self.extent()
+        per = f", periodic_y={self.periodic_y:.4g}" if self.periodic_y else ""
+        return (
+            f"AtomicStructure({self.n_atoms} atoms, species={self.unique_species()}, "
+            f"extent=({ext[0]:.3g}, {ext[1]:.3g}, {ext[2]:.3g}) nm{per})"
+        )

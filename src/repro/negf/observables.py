@@ -1,0 +1,90 @@
+"""Energy/momentum integration of transport observables.
+
+Takes per-(k, E) kernel outputs (transmission, spectral densities) and
+produces terminal currents and carrier densities:
+
+    I  = s (q/h) sum_k w_k int dE T(E,k) [f_L(E) - f_R(E)]
+    n_i = s sum_k w_k int dE [rho^L_i f_L + rho^R_i f_R]
+
+with s the spin degeneracy (2 for spinless bases, 1 when spin is explicit).
+These small routines are deliberately separate from the kernels so both the
+RGF and WF paths (and the parallel scheduler, which integrates partial
+sums) share one definition of the observables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..physics.constants import Q_OVER_H_A_PER_EV
+from ..physics.fermi import fermi_dirac
+from ..physics.grids import EnergyGrid
+
+__all__ = ["landauer_current", "carrier_density", "orbital_to_atom"]
+
+
+def landauer_current(
+    grid: EnergyGrid,
+    transmission: np.ndarray,
+    mu_left: float,
+    mu_right: float,
+    kT: float,
+    spin_degeneracy: int = 2,
+) -> float:
+    """Ballistic terminal current (A) from sampled T(E).
+
+    Parameters
+    ----------
+    grid : EnergyGrid
+        Energy nodes/weights the transmission was sampled on.
+    transmission : ndarray
+        T(E) at the grid nodes.
+    mu_left, mu_right : float
+        Contact chemical potentials (eV).
+    kT : float
+        Thermal energy (eV).
+    spin_degeneracy : int
+        2 unless the basis is explicitly spinful.
+    """
+    transmission = np.asarray(transmission, dtype=float)
+    window = fermi_dirac(grid.energies, mu_left, kT) - fermi_dirac(
+        grid.energies, mu_right, kT
+    )
+    integral = float(grid.integrate(transmission * window))
+    return spin_degeneracy * Q_OVER_H_A_PER_EV * integral
+
+
+def carrier_density(
+    grid: EnergyGrid,
+    spectral_left: np.ndarray,
+    spectral_right: np.ndarray,
+    mu_left: float,
+    mu_right: float,
+    kT: float,
+    spin_degeneracy: int = 2,
+) -> np.ndarray:
+    """Electrons per orbital from the contact-resolved spectral densities.
+
+    ``spectral_left/right`` have shape (n_energies, n_orbitals) and are the
+    diag(A_c)/2pi arrays produced by the kernels (units 1/eV).
+    """
+    spectral_left = np.asarray(spectral_left)
+    spectral_right = np.asarray(spectral_right)
+    if spectral_left.shape != spectral_right.shape:
+        raise ValueError("left/right spectral arrays must have equal shape")
+    f_l = fermi_dirac(grid.energies, mu_left, kT)[:, None]
+    f_r = fermi_dirac(grid.energies, mu_right, kT)[:, None]
+    filled = spectral_left * f_l + spectral_right * f_r
+    return spin_degeneracy * np.asarray(grid.integrate(filled)).real
+
+
+def orbital_to_atom(per_orbital: np.ndarray, n_orbitals_per_atom: int) -> np.ndarray:
+    """Fold a per-orbital quantity onto atoms (sum over each atom's block)."""
+    per_orbital = np.asarray(per_orbital)
+    n = per_orbital.shape[-1]
+    if n % n_orbitals_per_atom:
+        raise ValueError(
+            f"{n} orbitals not divisible by {n_orbitals_per_atom} per atom"
+        )
+    shape = per_orbital.shape[:-1] + (n // n_orbitals_per_atom, n_orbitals_per_atom)
+    return per_orbital.reshape(shape).sum(axis=-1)

@@ -1,0 +1,119 @@
+"""Contact self-energies from lead surface Green's functions.
+
+The semi-infinite leads are folded onto the end slabs of the device as
+retarded self-energies:
+
+    Sigma_L = tau_L^+ g_L tau_L   with tau_L = <lead cell -1 | H | slab 0>,
+    Sigma_R = tau_R g_R tau_R^+   with tau_R = <slab N-1 | H | lead cell N>.
+
+For a device whose end slabs repeat the lead cell (which the geometry layer
+guarantees), tau_L equals the first upper block H_{0,1} and tau_R the last
+upper block H_{N-2,N-1}.
+
+The broadening matrix Gamma = i (Sigma - Sigma^+) counts open channels:
+its rank equals the number of propagating lead modes at that energy, a fact
+both the wave-function solver (injection vectors) and the tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .surface_gf import eigen_surface_gf, sancho_rubio
+
+__all__ = ["LeadSelfEnergy", "contact_self_energy"]
+
+
+@dataclass(frozen=True)
+class LeadSelfEnergy:
+    """A contact self-energy at one energy.
+
+    Attributes
+    ----------
+    sigma : ndarray
+        Retarded self-energy block (embedded at the contact slab).
+    side : str
+        "left" or "right".
+    energy : float
+        The energy it was evaluated at (eV).
+    """
+
+    sigma: np.ndarray
+    side: str
+    energy: float
+
+    @property
+    def gamma(self) -> np.ndarray:
+        """Broadening matrix Gamma = i (Sigma - Sigma^+); Hermitian PSD."""
+        return 1j * (self.sigma - self.sigma.conj().T)
+
+    def n_open_channels(self, tol: float = 1e-4) -> int:
+        """Number of propagating lead modes = rank of Gamma.
+
+        ``tol`` is an absolute threshold in eV: propagating channels carry
+        Gamma eigenvalues of order the lead bandwidth, while the finite-eta
+        leakage of closed channels is of order eta.
+        """
+        ev = np.linalg.eigvalsh(self.gamma)
+        return int(np.sum(ev > tol))
+
+    def injection_vectors(self, tol: float = 1e-8) -> np.ndarray:
+        """Columns w_m with Gamma = sum_m w_m w_m^+ (rank factorisation).
+
+        These are the per-channel source vectors of the wave-function
+        solver: T = sum_m (G w_m)^+ Gamma_other (G w_m).  Channels whose
+        Gamma eigenvalue is below ``tol * max`` are numerically closed
+        (their weight is finite-eta leakage, not physics) and are dropped —
+        this is what keeps the WF back-substitution count at the number of
+        *open* channels rather than the block size.
+        """
+        gamma = self.gamma
+        ev, U = np.linalg.eigh(gamma)
+        scale = max(float(ev.max(initial=0.0)), 1e-300)
+        keep = ev > tol * scale
+        return U[:, keep] * np.sqrt(ev[keep])[None, :]
+
+
+def contact_self_energy(
+    energy: float,
+    h00: np.ndarray,
+    h01: np.ndarray,
+    tau: np.ndarray | None = None,
+    side: str = "left",
+    method: str = "sancho",
+    eta: float = 1e-6,
+) -> LeadSelfEnergy:
+    """Compute the retarded self-energy of one contact.
+
+    Parameters
+    ----------
+    energy : float
+        Energy E (eV).
+    h00, h01 : ndarray
+        Lead cell blocks (conventions of :mod:`repro.negf.surface_gf`).
+    tau : ndarray or None
+        Lead-device coupling; None means the device end slab repeats the
+        lead cell, i.e. tau = h01.
+    side : {"left", "right"}
+        Contact side.
+    method : {"sancho", "eigen"}
+        Surface-GF algorithm.
+    eta : float
+        Retarded infinitesimal (eV).
+    """
+    if method == "sancho":
+        g, _ = sancho_rubio(energy, h00, h01, side=side, eta=eta)
+    elif method == "eigen":
+        g = eigen_surface_gf(energy, h00, h01, side=side, eta=eta)
+    else:
+        raise ValueError("method must be 'sancho' or 'eigen'")
+    if tau is None:
+        tau = h01
+    tau = np.asarray(tau, dtype=complex)
+    if side == "left":
+        sigma = tau.conj().T @ g @ tau
+    else:
+        sigma = tau @ g @ tau.conj().T
+    return LeadSelfEnergy(sigma=sigma, side=side, energy=energy)

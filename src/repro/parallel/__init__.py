@@ -1,0 +1,26 @@
+"""Parallel runtime: communicators, 4-level decomposition, scheduling."""
+
+from .comm import CommEvent, CommTrace, SerialComm, TracedComm
+from .decomposition import Decomposition, WorkItem, choose_level_sizes
+from .scheduler import (
+    ScheduleReport,
+    greedy_balance,
+    makespan,
+    run_tasks,
+    static_blocks,
+)
+
+__all__ = [
+    "CommEvent",
+    "CommTrace",
+    "SerialComm",
+    "TracedComm",
+    "Decomposition",
+    "WorkItem",
+    "choose_level_sizes",
+    "ScheduleReport",
+    "greedy_balance",
+    "makespan",
+    "run_tasks",
+    "static_blocks",
+]

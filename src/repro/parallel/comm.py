@@ -1,0 +1,200 @@
+"""Communicator abstraction (mpi4py-subset API) with serial and traced backends.
+
+The production simulator is an MPI code; its four-level parallelisation is
+expressed through communicator splits (one sub-communicator per bias point,
+split again over momentum, again over energy, again over spatial domains).
+This module reproduces that structure with the same calling conventions as
+mpi4py (``Get_rank``, ``Get_size``, ``Split``, lower-case object
+collectives) so the driver code reads like the MPI original and could be
+backed by real mpi4py unchanged.
+
+Two backends are shipped:
+
+* :class:`SerialComm` — a size-1 world; every collective degenerates to a
+  copy.  This is what actually executes in this single-node reproduction.
+* :class:`TracedComm` — a size-P *model*: rank 0 executes, but every
+  collective records (operation, payload bytes, participant count) into a
+  :class:`CommTrace`.  The performance model replays the trace against the
+  simulated machine to charge communication time (substituting for the real
+  221k-core runs, per DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommTrace", "CommEvent", "SerialComm", "TracedComm"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One recorded communication operation."""
+
+    op: str
+    payload_bytes: int
+    participants: int
+
+
+@dataclass
+class CommTrace:
+    """Accumulated communication events of a traced run."""
+
+    events: list = field(default_factory=list)
+
+    def record(self, op: str, payload_bytes: int, participants: int) -> None:
+        """Append one event."""
+        self.events.append(CommEvent(op, int(payload_bytes), int(participants)))
+
+    def total_bytes(self) -> int:
+        """Sum of payload bytes over all events."""
+        return sum(e.payload_bytes for e in self.events)
+
+    def count(self, op: str | None = None) -> int:
+        """Number of events (optionally of one operation type)."""
+        if op is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.op == op)
+
+
+def _nbytes(obj) -> int:
+    """Approximate wire size of a payload object."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable payloads are a bug
+        return 0
+
+
+class SerialComm:
+    """A size-1 communicator: all collectives are identity operations."""
+
+    def __init__(self):
+        self._rank = 0
+        self._size = 1
+
+    def Get_rank(self) -> int:
+        """This process's rank (always 0)."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """World size (always 1)."""
+        return self._size
+
+    def Split(self, color: int, key: int = 0) -> "SerialComm":
+        """Sub-communicator (trivially another serial comm)."""
+        return SerialComm()
+
+    def barrier(self) -> None:
+        """No-op."""
+
+    def bcast(self, obj, root: int = 0):
+        """Broadcast (identity)."""
+        return obj
+
+    def gather(self, obj, root: int = 0):
+        """Gather: the single rank's contribution."""
+        return [obj]
+
+    def allgather(self, obj):
+        """Allgather: list with one entry."""
+        return [obj]
+
+    def allreduce(self, value, op: str = "sum"):
+        """Allreduce over one rank = the value itself."""
+        return value
+
+    def scatter(self, objs, root: int = 0):
+        """Scatter a 1-element list."""
+        if objs is None or len(objs) != 1:
+            raise ValueError("serial scatter needs a 1-element list")
+        return objs[0]
+
+
+class TracedComm:
+    """A modelled size-P communicator executing on one real process.
+
+    Rank identity is fixed at construction; collectives behave as if every
+    rank contributed the same payload shape and record their cost into the
+    shared :class:`CommTrace`.  Semantically this backend is only exact for
+    the map-reduce communication patterns the driver uses (broadcast of
+    inputs, gather/allreduce of partial integrals) — point-to-point
+    pipelines would need real concurrency and are modelled analytically in
+    :mod:`repro.perf` instead.
+    """
+
+    def __init__(self, size: int, rank: int = 0, trace: CommTrace | None = None):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} outside [0, {size})")
+        self._size = size
+        self._rank = rank
+        self.trace = trace if trace is not None else CommTrace()
+
+    def Get_rank(self) -> int:
+        """Modelled rank."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """Modelled size."""
+        return self._size
+
+    def Split(self, color: int, key: int = 0) -> "TracedComm":
+        """Split: the sub-communicator shares the trace.
+
+        The modelled sub-size must be supplied implicitly by the caller's
+        decomposition; since only rank 0 executes, the split returns a
+        communicator of the same trace with size = number of ranks sharing
+        ``color`` — unknown here, so the caller should use
+        :meth:`split_sized` when it knows the sub-size.
+        """
+        return TracedComm(1, 0, self.trace)
+
+    def split_sized(self, sub_size: int, sub_rank: int = 0) -> "TracedComm":
+        """Explicit-size split used by the level decomposition."""
+        return TracedComm(sub_size, sub_rank, self.trace)
+
+    def barrier(self) -> None:
+        """Record a zero-payload synchronisation."""
+        self.trace.record("barrier", 0, self._size)
+
+    def bcast(self, obj, root: int = 0):
+        """Broadcast; cost recorded for a binomial tree."""
+        self.trace.record("bcast", _nbytes(obj), self._size)
+        return obj
+
+    def gather(self, obj, root: int = 0):
+        """Gather; every modelled rank is assumed to send an equal payload."""
+        self.trace.record("gather", _nbytes(obj) * self._size, self._size)
+        return [obj] * self._size if self._rank == root else None
+
+    def allgather(self, obj):
+        """Allgather with equal payloads."""
+        self.trace.record("allgather", _nbytes(obj) * self._size, self._size)
+        return [obj] * self._size
+
+    def allreduce(self, value, op: str = "sum"):
+        """Allreduce; the modelled result multiplies/reduces equal payloads.
+
+        Since only one rank actually executes, the reduction over P equal
+        contributions is value * P for "sum" and value for "max"/"min".
+        """
+        self.trace.record("allreduce", _nbytes(value), self._size)
+        if op == "sum":
+            if isinstance(value, np.ndarray):
+                return value * self._size
+            return value * self._size
+        if op in ("max", "min"):
+            return value
+        raise ValueError(f"unsupported allreduce op {op!r}")
+
+    def scatter(self, objs, root: int = 0):
+        """Scatter a list of length size; this rank receives its element."""
+        if objs is None or len(objs) != self._size:
+            raise ValueError(f"scatter needs a list of length {self._size}")
+        self.trace.record("scatter", sum(_nbytes(o) for o in objs), self._size)
+        return objs[self._rank]

@@ -1,0 +1,49 @@
+"""Performance layer: flop accounting, machine model, scaling predictions."""
+
+from .flops import (
+    FlopCounter,
+    block_column_solve_flops,
+    block_lu_factor_flops,
+    diagonal_inverse_flops,
+    rgf_solve_flops,
+    sancho_rubio_flops,
+    splitsolve_flops,
+    wf_backsub_flops,
+    wf_factor_flops,
+    wf_solve_flops,
+    zgemm_flops,
+    zinverse_flops,
+    zlu_flops,
+)
+from .machine import JAGUAR_XT5, LOCAL_NODE, SimulatedMachine
+from .model import (
+    ModelReport,
+    TransportWorkload,
+    predict,
+    strong_scaling,
+    weak_scaling,
+)
+
+__all__ = [
+    "FlopCounter",
+    "block_column_solve_flops",
+    "block_lu_factor_flops",
+    "diagonal_inverse_flops",
+    "rgf_solve_flops",
+    "sancho_rubio_flops",
+    "splitsolve_flops",
+    "wf_backsub_flops",
+    "wf_factor_flops",
+    "wf_solve_flops",
+    "zgemm_flops",
+    "zinverse_flops",
+    "zlu_flops",
+    "JAGUAR_XT5",
+    "LOCAL_NODE",
+    "SimulatedMachine",
+    "ModelReport",
+    "TransportWorkload",
+    "predict",
+    "strong_scaling",
+    "weak_scaling",
+]

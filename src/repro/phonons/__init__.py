@@ -1,0 +1,30 @@
+"""Phonons: Keating valence force field, dynamical matrices, thermal transport."""
+
+from .dynamical import (
+    AMU_KG,
+    bulk_dynamical_matrix,
+    bulk_phonon_bands,
+    omega2_to_thz,
+    wire_phonon_blocks,
+)
+from .keating import KEATING_PARAMS, KeatingModel
+from .thermal import (
+    PhononTransport,
+    periodic_wire_dynamics,
+    phonon_transmission,
+    thermal_conductance,
+)
+
+__all__ = [
+    "AMU_KG",
+    "bulk_dynamical_matrix",
+    "bulk_phonon_bands",
+    "omega2_to_thz",
+    "wire_phonon_blocks",
+    "KEATING_PARAMS",
+    "KeatingModel",
+    "PhononTransport",
+    "periodic_wire_dynamics",
+    "phonon_transmission",
+    "thermal_conductance",
+]

@@ -1,0 +1,181 @@
+"""Ballistic phonon transport and Landauer thermal conductance.
+
+With the wire dynamical matrix in slab block form, the phonon transmission
+function Xi(omega) comes from exactly the same kernels as the electronic
+T(E) — surface GFs and RGF on A = (omega^2 + i eta) I - D — and the
+ballistic thermal conductance follows from the phonon Landauer formula
+
+    G_th(T) = (1 / 2 pi) * int_0^inf  d(omega)  hbar omega
+              * (d n_B / d T)  * Xi(omega)
+            = (k_B^2 T / h) * int_0^inf dx  x^2 e^x / (e^x - 1)^2  Xi(x)
+
+This realises the thermal-engineering workload of the authors' companion
+papers (phonon spectra and ballistic thermal conductance of III-V and SiGe
+nanowires) on the reproduction's shared transport stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..negf.rgf import RGFSolver
+from ..tb.hamiltonian import BlockTridiagonalHamiltonian
+from .dynamical import AMU_KG, omega2_to_thz, wire_phonon_blocks
+
+__all__ = [
+    "periodic_wire_dynamics",
+    "phonon_transmission",
+    "thermal_conductance",
+    "PhononTransport",
+]
+
+_HBAR_J_S = 1.054571817e-34
+_KB_J_K = 1.380649e-23
+
+
+def periodic_wire_dynamics(
+    device,
+    alpha: float,
+    beta: float,
+    d0_nm: float,
+    n_device_slabs: int,
+    mass_override: np.ndarray | None = None,
+) -> BlockTridiagonalHamiltonian:
+    """Infinite-wire dynamical blocks replicated into a transport device.
+
+    ``device`` must be a uniform slabbed wire at least 4 slabs long; the
+    translation-invariant interior blocks (D11, D12) are extracted and
+    tiled ``n_device_slabs`` times, giving a perfect-lead phonon device.
+    ``mass_override`` (length = slab size * n_device_slabs) perturbs the
+    device region only — the leads keep the host mass.
+    """
+    if device.n_slabs < 4:
+        raise ValueError("need >= 4 slabs to extract interior blocks")
+    full = wire_phonon_blocks(device, alpha, beta, d0_nm)
+    d11 = full.diagonal[1]
+    d12 = full.upper[1]
+    if not np.allclose(full.diagonal[2], d11, atol=1e-8):
+        raise ValueError("wire interior is not translation invariant")
+    m = d11.shape[0]
+    atoms_per_slab = m // 3
+    diag = [d11.copy() for _ in range(n_device_slabs)]
+    upper = [d12.copy() for _ in range(n_device_slabs - 1)]
+    if mass_override is not None:
+        mass_override = np.asarray(mass_override, dtype=float)
+        if mass_override.shape != (atoms_per_slab * n_device_slabs,):
+            raise ValueError("mass_override must cover every device atom")
+        host = _host_mass(device)
+        scale = np.repeat(np.sqrt(host / mass_override), 3)
+        for s in range(n_device_slabs):
+            sl = slice(s * m, (s + 1) * m)
+            w = scale[sl]
+            diag[s] = diag[s] * np.outer(w, w)
+            if s < n_device_slabs - 1:
+                w2 = scale[(s + 1) * m : (s + 2) * m]
+                upper[s] = upper[s] * np.outer(w, w2)
+    return BlockTridiagonalHamiltonian(diag, upper)
+
+
+def _host_mass(device) -> float:
+    from .keating import KEATING_PARAMS
+
+    species = set(device.structure.species)
+    masses = {KEATING_PARAMS[s]["mass_amu"] for s in species}
+    if len(masses) != 1:
+        raise ValueError("periodic_wire_dynamics needs a monatomic host")
+    return float(masses.pop())
+
+
+def phonon_transmission(
+    dynamics: BlockTridiagonalHamiltonian,
+    frequencies_thz: np.ndarray,
+    eta: float | None = None,
+) -> np.ndarray:
+    """Phonon transmission Xi(nu) for frequencies in THz.
+
+    The transport variable is omega^2 (N/m/amu units); a frequency nu maps
+    to ``omega2 = (2 pi nu)^2 * AMU_KG`` in those units.  ``eta`` is the
+    imaginary part added to omega^2 (auto-scaled if None).
+    """
+    frequencies_thz = np.atleast_1d(np.asarray(frequencies_thz, dtype=float))
+    out = np.zeros_like(frequencies_thz)
+    scale = max(float(np.abs(dynamics.diagonal[0]).max()), 1.0)
+    for idx, nu in enumerate(frequencies_thz):
+        omega2 = (2.0 * np.pi * nu * 1e12) ** 2 * AMU_KG
+        eta_eff = eta if eta is not None else 1e-8 * scale + 1e-10 * omega2
+        solver = RGFSolver(dynamics, eta=eta_eff)
+        out[idx] = max(solver.transmission(float(omega2)), 0.0)
+    return out
+
+
+def thermal_conductance(
+    dynamics: BlockTridiagonalHamiltonian,
+    temperature_k: float,
+    n_freq: int = 64,
+    nu_max_thz: float | None = None,
+) -> float:
+    """Ballistic Landauer thermal conductance (W/K) at a temperature.
+
+    Integrates hbar*omega * dn_B/dT * Xi(omega) / 2 pi over the phonon
+    spectrum; ``nu_max_thz`` defaults to just above the largest eigenmode
+    of one slab block (an upper bound on the band top).
+    """
+    if temperature_k <= 0:
+        raise ValueError("temperature must be positive")
+    if nu_max_thz is None:
+        w2 = np.linalg.eigvalsh(dynamics.diagonal[0]).max()
+        nu_max_thz = float(omega2_to_thz(np.array([w2]))[0]) * 1.1
+    nus = np.linspace(nu_max_thz / n_freq, nu_max_thz, n_freq)
+    xi = phonon_transmission(dynamics, nus)
+    omegas = 2.0 * np.pi * nus * 1e12
+    x = _HBAR_J_S * omegas / (_KB_J_K * temperature_k)
+    # dn_B/dT = (x/T) e^x / (e^x - 1)^2 / ... expressed stably
+    ex = np.exp(np.clip(x, None, 500.0))
+    dndt = x / temperature_k * ex / (ex - 1.0) ** 2
+    integrand = _HBAR_J_S * omegas * dndt * xi / (2.0 * np.pi)
+    return float(np.trapezoid(integrand, omegas))
+
+
+class PhononTransport:
+    """Convenience facade: wire geometry -> Xi(nu) and G_th(T).
+
+    Parameters
+    ----------
+    device : SlabbedDevice
+        Uniform host wire (>= 4 slabs), monatomic species with tabulated
+        Keating parameters.
+    n_device_slabs : int
+        Length of the transport region in slabs.
+    mass_override : ndarray or None
+        Per-device-atom masses (amu) for isotope/mass-disorder studies.
+    """
+
+    def __init__(
+        self,
+        device,
+        n_device_slabs: int = 6,
+        mass_override: np.ndarray | None = None,
+    ):
+        from .keating import KEATING_PARAMS
+
+        species = device.structure.species[0]
+        params = KEATING_PARAMS[species]
+        d0 = float(
+            np.linalg.norm(device.neighbor_table.displacement, axis=1).min()
+        )
+        self.dynamics = periodic_wire_dynamics(
+            device,
+            params["alpha"],
+            params["beta"],
+            d0,
+            n_device_slabs,
+            mass_override=mass_override,
+        )
+
+    def transmission(self, frequencies_thz) -> np.ndarray:
+        """Xi(nu) at the given frequencies (THz)."""
+        return phonon_transmission(self.dynamics, frequencies_thz)
+
+    def conductance(self, temperature_k: float, **kwargs) -> float:
+        """G_th(T) in W/K."""
+        return thermal_conductance(self.dynamics, temperature_k, **kwargs)

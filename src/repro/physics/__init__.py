@@ -1,0 +1,57 @@
+"""Physical constants, Fermi statistics and quadrature grids."""
+
+from . import constants
+from .constants import (
+    HBAR2_OVER_2M0,
+    HBAR_EV_S,
+    KB_EV,
+    KT_ROOM,
+    Q_E,
+    Q_OVER_H_A_PER_EV,
+    T_ROOM,
+    effective_mass_hopping,
+    thermal_energy,
+)
+from .fermi import (
+    dfermi_dE,
+    fermi_dirac,
+    fermi_integral_half,
+    fermi_integral_minus_half,
+    fermi_integral_zero,
+    fermi_window,
+    inverse_fermi_integral_half,
+)
+from .grids import (
+    AdaptiveEnergyGrid,
+    EnergyGrid,
+    MomentumGrid,
+    fermi_window_grid,
+    trapezoid_weights,
+    uniform_grid,
+)
+
+__all__ = [
+    "constants",
+    "HBAR2_OVER_2M0",
+    "HBAR_EV_S",
+    "KB_EV",
+    "KT_ROOM",
+    "Q_E",
+    "Q_OVER_H_A_PER_EV",
+    "T_ROOM",
+    "effective_mass_hopping",
+    "thermal_energy",
+    "dfermi_dE",
+    "fermi_dirac",
+    "fermi_integral_half",
+    "fermi_integral_minus_half",
+    "fermi_integral_zero",
+    "fermi_window",
+    "inverse_fermi_integral_half",
+    "AdaptiveEnergyGrid",
+    "EnergyGrid",
+    "MomentumGrid",
+    "fermi_window_grid",
+    "trapezoid_weights",
+    "uniform_grid",
+]

@@ -1,0 +1,92 @@
+"""Physical constants in the unit system used throughout :mod:`repro`.
+
+Unit conventions
+----------------
+* Energy    : electron-volt (eV)
+* Length    : nanometre (nm)
+* Time      : second (s)
+* Charge    : Coulomb (C)
+* Current   : Ampere (A)
+* Potential : Volt (V)
+
+With these units, ``HBAR_EV_S`` carries eV*s and the frequently used
+combination ``HBAR2_OVER_2M0`` (= hbar^2 / 2 m0) carries eV*nm^2, so that a
+parabolic dispersion reads ``E = HBAR2_OVER_2M0 * k**2 / m_rel`` with ``k``
+in 1/nm and ``m_rel`` the effective mass relative to the free-electron mass.
+
+All values are CODATA-2018 rounded to the precision relevant for empirical
+tight-binding device simulation (band energies are only known to ~meV).
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- fundamental constants -------------------------------------------------
+
+#: Elementary charge (C).
+Q_E: float = 1.602176634e-19
+
+#: Boltzmann constant (eV / K).
+KB_EV: float = 8.617333262e-5
+
+#: Reduced Planck constant (eV * s).
+HBAR_EV_S: float = 6.582119569e-16
+
+#: Planck constant (eV * s).
+H_EV_S: float = 4.135667696e-15
+
+#: Free-electron mass expressed through hbar^2/(2 m0) in eV * nm^2.
+#: E[eV] = HBAR2_OVER_2M0 * (k[1/nm])^2 / m_rel.
+HBAR2_OVER_2M0: float = 0.0380998212
+
+#: Vacuum permittivity (C / (V * nm)); eps0 = 8.8541878128e-12 F/m.
+EPS0_C_V_NM: float = 8.8541878128e-21
+
+#: Conductance quantum G0 = 2 e^2 / h (Siemens), including spin degeneracy.
+G0_SIEMENS: float = 7.748091729e-5
+
+#: Current prefactor q/h in A/eV: I = (q/h) * integral T(E) dE  (per spin).
+Q_OVER_H_A_PER_EV: float = Q_E / H_EV_S
+
+#: Room temperature (K) used as the default throughout.
+T_ROOM: float = 300.0
+
+#: kT at room temperature (eV).
+KT_ROOM: float = KB_EV * T_ROOM
+
+
+def thermal_energy(temperature_k: float) -> float:
+    """Return ``kT`` in eV for a temperature in Kelvin.
+
+    Raises
+    ------
+    ValueError
+        If the temperature is negative.
+    """
+    if temperature_k < 0.0:
+        raise ValueError(f"temperature must be >= 0 K, got {temperature_k}")
+    return KB_EV * temperature_k
+
+
+def effective_mass_hopping(m_rel: float, spacing_nm: float) -> float:
+    """Nearest-neighbour hopping ``t = hbar^2 / (2 m a^2)`` in eV.
+
+    This is the hopping energy of the discretized single-band effective-mass
+    Hamiltonian on a grid with spacing ``spacing_nm`` — the "discretized
+    Schroedinger equation" model of Boykin & Klimeck (Eur. J. Phys. 2004),
+    used as the cheap single-band material in the device simulator.
+    """
+    if m_rel <= 0.0:
+        raise ValueError(f"relative effective mass must be > 0, got {m_rel}")
+    if spacing_nm <= 0.0:
+        raise ValueError(f"grid spacing must be > 0, got {spacing_nm}")
+    return HBAR2_OVER_2M0 / (m_rel * spacing_nm**2)
+
+
+def de_broglie_wavelength(energy_ev: float, m_rel: float = 1.0) -> float:
+    """Electron de Broglie wavelength (nm) at kinetic energy ``energy_ev``."""
+    if energy_ev <= 0.0:
+        raise ValueError(f"kinetic energy must be > 0, got {energy_ev}")
+    k = math.sqrt(energy_ev * m_rel / HBAR2_OVER_2M0)
+    return 2.0 * math.pi / k

@@ -1,0 +1,273 @@
+"""Quadrature grids for the energy and transverse-momentum integrals.
+
+A ballistic terminal current is a double integral
+
+    I = (q/h) * sum_k w_k  int dE  T(E, k) (fL - fR)
+
+and the charge is a similar integral of the spectral density.  OMEN spends
+almost all of its petaflops on the (k, E) sample points of these integrals,
+so the grid objects here are the unit of work for the parallel scheduler:
+each :class:`EnergyGrid`/:class:`MomentumGrid` node maps to one independent
+open-system solve.
+
+Two energy-grid constructions are provided:
+
+* :func:`fermi_window_grid` — uniform grid covering the union of the thermal
+  windows of all contacts (the workhorse for current integration);
+* :class:`AdaptiveEnergyGrid` — bisection refinement driven by a local
+  interpolation-error estimate, which concentrates points on transmission
+  resonances (the ablation partner of the uniform grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "EnergyGrid",
+    "MomentumGrid",
+    "fermi_window_grid",
+    "uniform_grid",
+    "AdaptiveEnergyGrid",
+    "trapezoid_weights",
+]
+
+
+def trapezoid_weights(points: np.ndarray) -> np.ndarray:
+    """Trapezoidal quadrature weights for sorted, possibly non-uniform points.
+
+    For a single point the weight is 1 (the integral degenerates to a sample,
+    used by single-energy diagnostics).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 1:
+        raise ValueError("points must be one-dimensional")
+    n = points.size
+    if n == 0:
+        raise ValueError("empty grid")
+    if n == 1:
+        return np.ones(1)
+    if np.any(np.diff(points) <= 0):
+        raise ValueError("points must be strictly increasing")
+    w = np.zeros(n)
+    d = np.diff(points)
+    w[0] = d[0] / 2.0
+    w[-1] = d[-1] / 2.0
+    w[1:-1] = (d[:-1] + d[1:]) / 2.0
+    return w
+
+
+@dataclass(frozen=True)
+class EnergyGrid:
+    """A set of energy nodes with quadrature weights.
+
+    Attributes
+    ----------
+    energies : ndarray
+        Strictly increasing energy nodes (eV).
+    weights : ndarray
+        Quadrature weights (eV); ``integral f ~= sum(weights * f(energies))``.
+    """
+
+    energies: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self):
+        e = np.asarray(self.energies, dtype=float)
+        w = np.asarray(self.weights, dtype=float)
+        if e.shape != w.shape or e.ndim != 1:
+            raise ValueError("energies and weights must be 1-D of equal size")
+        object.__setattr__(self, "energies", e)
+        object.__setattr__(self, "weights", w)
+
+    def __len__(self) -> int:
+        return self.energies.size
+
+    def integrate(self, values) -> complex | float:
+        """Quadrature of sampled values against this grid's weights."""
+        values = np.asarray(values)
+        if values.shape[0] != len(self):
+            raise ValueError(
+                f"values has leading dim {values.shape[0]}, grid has {len(self)}"
+            )
+        return np.tensordot(self.weights, values, axes=(0, 0))
+
+    def restrict(self, emin: float, emax: float) -> "EnergyGrid":
+        """Sub-grid of nodes inside [emin, emax], weights recomputed."""
+        mask = (self.energies >= emin) & (self.energies <= emax)
+        pts = self.energies[mask]
+        if pts.size == 0:
+            raise ValueError("restriction produced an empty grid")
+        return EnergyGrid(pts, trapezoid_weights(pts))
+
+
+def uniform_grid(emin: float, emax: float, n_points: int) -> EnergyGrid:
+    """Uniform trapezoidal grid on [emin, emax]."""
+    if n_points < 1:
+        raise ValueError("need at least one point")
+    if n_points == 1:
+        return EnergyGrid(np.array([(emin + emax) / 2.0]), np.array([emax - emin]))
+    if emax <= emin:
+        raise ValueError(f"emax ({emax}) must exceed emin ({emin})")
+    pts = np.linspace(emin, emax, n_points)
+    return EnergyGrid(pts, trapezoid_weights(pts))
+
+
+def fermi_window_grid(
+    chemical_potentials: Sequence[float],
+    kT: float,
+    n_points: int = 101,
+    n_kT: float = 10.0,
+    band_bottom: float | None = None,
+) -> EnergyGrid:
+    """Uniform grid covering the thermal window of all contacts.
+
+    The window spans ``[min(mu) - n_kT*kT, max(mu) + n_kT*kT]``, optionally
+    clipped from below at ``band_bottom`` (no propagating states below the
+    source-side band edge contribute to ballistic current).
+    """
+    mus = list(chemical_potentials)
+    if not mus:
+        raise ValueError("need at least one chemical potential")
+    if kT <= 0:
+        raise ValueError("kT must be > 0")
+    lo = min(mus) - n_kT * kT
+    hi = max(mus) + n_kT * kT
+    if band_bottom is not None:
+        lo = max(lo, band_bottom)
+    if hi <= lo:
+        hi = lo + kT  # degenerate window: keep a sliver so quadrature is sane
+    return uniform_grid(lo, hi, n_points)
+
+
+@dataclass
+class AdaptiveEnergyGrid:
+    """Bisection-refined energy grid driven by an interpolation error estimate.
+
+    The grid starts from ``n_initial`` uniform nodes; each refinement pass
+    evaluates the integrand midpoint of every interval and keeps bisecting
+    intervals whose midpoint deviates from the linear interpolant by more
+    than ``tol`` (absolute, in the integrand's units).  This is the standard
+    way quantum-transport codes catch narrow resonances without paying for a
+    globally fine grid.
+
+    Use :meth:`refine` with the integrand callable; the callable is invoked
+    only on *new* energies, and all evaluations are cached in
+    :attr:`samples`.
+    """
+
+    emin: float
+    emax: float
+    n_initial: int = 16
+    tol: float = 1e-3
+    max_points: int = 4096
+    samples: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.emax <= self.emin:
+            raise ValueError("emax must exceed emin")
+        if self.n_initial < 3:
+            raise ValueError("need at least 3 initial points")
+
+    def refine(self, integrand: Callable[[float], float], max_passes: int = 12) -> EnergyGrid:
+        """Refine until the error estimate falls below ``tol`` everywhere.
+
+        Returns the final :class:`EnergyGrid`; sampled values are available
+        via :meth:`sampled_values`.
+        """
+        energies = set(np.linspace(self.emin, self.emax, self.n_initial))
+        for e in energies:
+            if e not in self.samples:
+                self.samples[e] = float(integrand(e))
+        pts = sorted(energies)
+        active = list(zip(pts[:-1], pts[1:]))
+        for _ in range(max_passes):
+            if not active or len(energies) >= self.max_points:
+                break
+            next_active: list[tuple[float, float]] = []
+            for a, b in active:
+                mid = 0.5 * (a + b)
+                if mid not in self.samples:
+                    self.samples[mid] = float(integrand(mid))
+                interp = 0.5 * (self.samples[a] + self.samples[b])
+                if abs(self.samples[mid] - interp) > self.tol:
+                    energies.add(mid)
+                    next_active.append((a, mid))
+                    next_active.append((mid, b))
+                    if len(energies) >= self.max_points:
+                        break
+            active = next_active
+        pts_arr = np.array(sorted(energies))
+        return EnergyGrid(pts_arr, trapezoid_weights(pts_arr))
+
+    def sampled_values(self, grid: EnergyGrid) -> np.ndarray:
+        """Cached integrand values at the nodes of ``grid``."""
+        return np.array([self.samples[e] for e in grid.energies])
+
+
+@dataclass(frozen=True)
+class MomentumGrid:
+    """Transverse-momentum sample points with weights.
+
+    For a device periodic in one transverse direction with period ``L``
+    (ultra-thin-body films), the Brillouin zone ``[-pi/L, pi/L)`` is sampled
+    on ``n_points`` nodes.  Time-reversal symmetry (T(k) = T(-k) in the
+    ballistic coherent case) lets us fold onto ``[0, pi/L]`` with doubled
+    weights, which :func:`MomentumGrid.irreducible` exploits — this is the
+    "momentum parallelism" level of OMEN.
+
+    For a nanowire (no transverse periodicity) use :meth:`gamma_only`.
+    """
+
+    k_points: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self):
+        k = np.atleast_1d(np.asarray(self.k_points, dtype=float))
+        w = np.atleast_1d(np.asarray(self.weights, dtype=float))
+        if k.shape != w.shape:
+            raise ValueError("k_points and weights must have equal shape")
+        if not np.isclose(w.sum(), 1.0):
+            raise ValueError("momentum weights must sum to 1 (BZ average)")
+        object.__setattr__(self, "k_points", k)
+        object.__setattr__(self, "weights", w)
+
+    def __len__(self) -> int:
+        return self.k_points.size
+
+    @staticmethod
+    def gamma_only() -> "MomentumGrid":
+        """Single Gamma point — nanowires and other non-periodic sections."""
+        return MomentumGrid(np.array([0.0]), np.array([1.0]))
+
+    @staticmethod
+    def uniform(period_nm: float, n_points: int) -> "MomentumGrid":
+        """Uniform BZ sampling (Monkhorst-Pack, Gamma-centred) of [-pi/L, pi/L)."""
+        if n_points < 1:
+            raise ValueError("need at least one k point")
+        if period_nm <= 0:
+            raise ValueError("period must be positive")
+        kmax = np.pi / period_nm
+        ks = -kmax + 2.0 * kmax * (np.arange(n_points) + 0.5) / n_points
+        w = np.full(n_points, 1.0 / n_points)
+        return MomentumGrid(ks, w)
+
+    @staticmethod
+    def irreducible(period_nm: float, n_points: int) -> "MomentumGrid":
+        """Half-BZ sampling exploiting T(k)=T(-k); weights doubled off Gamma."""
+        full = MomentumGrid.uniform(period_nm, n_points)
+        ks, ws = [], []
+        seen: dict[float, int] = {}
+        for k, w in zip(full.k_points, full.weights):
+            key = round(abs(k), 12)
+            if key in seen:
+                ws[seen[key]] += w
+            else:
+                seen[key] = len(ks)
+                ks.append(abs(k))
+                ws.append(w)
+        order = np.argsort(ks)
+        return MomentumGrid(np.array(ks)[order], np.array(ws)[order])

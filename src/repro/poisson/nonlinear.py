@@ -1,0 +1,178 @@
+"""Nonlinear Poisson solve (Newton-Raphson) and potential mixing.
+
+Solves
+
+    div(eps_r grad phi) + (q/eps0) * (N_D - n(phi)) = 0
+
+for phi (volts) on a :class:`PoissonGrid`, with any charge model exposing
+``density(phi)`` and ``d_density_d_phi(phi)`` (semiclassical or the
+quantum-corrected Gummel predictor).  The Jacobian is the Laplacian plus a
+diagonal, so each Newton step is one sparse solve.
+
+Also provides :class:`AndersonMixer`, the accelerated fixed-point mixing
+used by the outer transport-Poisson loop (ablated against plain linear
+mixing in experiment F7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .grid import PoissonGrid
+from .operators import Q_OVER_EPS0_V_NM, apply_dirichlet, assemble_laplacian
+
+__all__ = ["NonlinearPoisson", "PoissonResult", "AndersonMixer"]
+
+
+@dataclass
+class PoissonResult:
+    """Outcome of a nonlinear Poisson solve."""
+
+    phi: np.ndarray
+    n_iterations: int
+    residual_norm: float
+    converged: bool
+    history: list
+
+
+class NonlinearPoisson:
+    """Newton solver for the nonlinear Poisson equation.
+
+    Parameters
+    ----------
+    grid : PoissonGrid
+        Mesh.
+    eps_r : ndarray
+        Relative permittivity per node.
+    donor_density : ndarray
+        Ionised donor concentration per node (nm^-3, positive).
+    dirichlet_mask : ndarray of bool or None
+        Gate nodes.
+    dirichlet_values : ndarray or float
+        Gate potential(s) (V).
+    """
+
+    def __init__(
+        self,
+        grid: PoissonGrid,
+        eps_r: np.ndarray,
+        donor_density: np.ndarray,
+        dirichlet_mask: np.ndarray | None = None,
+        dirichlet_values=0.0,
+    ):
+        self.grid = grid
+        self.eps_r = np.asarray(eps_r, dtype=float)
+        self.donors = np.asarray(donor_density, dtype=float)
+        if self.donors.shape != (grid.n_nodes,):
+            raise ValueError("donor_density must have one entry per node")
+        self.L = assemble_laplacian(grid, self.eps_r)
+        self.mask = (
+            np.zeros(grid.n_nodes, dtype=bool)
+            if dirichlet_mask is None
+            else np.asarray(dirichlet_mask, dtype=bool)
+        )
+        self.dirichlet_values = dirichlet_values
+
+    # ------------------------------------------------------------------
+    def residual(self, phi: np.ndarray, charge_model) -> np.ndarray:
+        """F(phi) = L phi + (q/eps0)(N_D - n(phi)); zero on gate nodes."""
+        n = charge_model.density(phi)
+        F = self.L @ phi + Q_OVER_EPS0_V_NM * (self.donors - n)
+        F = np.where(self.mask, 0.0, F)
+        return F
+
+    def solve(
+        self,
+        charge_model,
+        phi0: np.ndarray | None = None,
+        tol: float = 1e-10,
+        max_iter: int = 50,
+        damping: float = 1.0,
+    ) -> PoissonResult:
+        """Newton iteration from ``phi0`` (zeros by default).
+
+        ``tol`` is on the max-norm of the residual (V/nm^2 units);
+        ``damping`` scales each Newton step (1 = full Newton).
+        """
+        n_nodes = self.grid.n_nodes
+        phi = np.zeros(n_nodes) if phi0 is None else np.array(phi0, dtype=float)
+        if phi.shape != (n_nodes,):
+            raise ValueError("phi0 has the wrong length")
+        # impose the Dirichlet values up front
+        if np.isscalar(self.dirichlet_values):
+            phi[self.mask] = self.dirichlet_values
+        else:
+            phi[self.mask] = np.asarray(self.dirichlet_values)[self.mask]
+
+        history: list[float] = []
+        converged = False
+        res_norm = np.inf
+        for it in range(1, max_iter + 1):
+            F = self.residual(phi, charge_model)
+            res_norm = float(np.abs(F).max())
+            history.append(res_norm)
+            if res_norm < tol:
+                converged = True
+                break
+            dn = charge_model.d_density_d_phi(phi)
+            J = self.L - sp.diags(Q_OVER_EPS0_V_NM * dn)
+            J_bc, rhs_bc = apply_dirichlet(J, -F, self.mask, 0.0)
+            delta = spla.spsolve(sp.csc_matrix(J_bc), rhs_bc)
+            phi = phi + damping * delta
+        return PoissonResult(
+            phi=phi,
+            n_iterations=len(history),
+            residual_norm=res_norm,
+            converged=converged,
+            history=history,
+        )
+
+
+@dataclass
+class AndersonMixer:
+    """Anderson acceleration for the outer SCF fixed point x = g(x).
+
+    Keeps a window of the last ``depth`` (x, g(x)) pairs and extrapolates
+    the next iterate by minimising the linearised residual; falls back to
+    plain damped mixing on the first step or a singular least-squares
+    system.
+    """
+
+    depth: int = 4
+    beta: float = 0.7
+    _xs: list = field(default_factory=list)
+    _gs: list = field(default_factory=list)
+
+    def reset(self) -> None:
+        """Forget the history (new bias point)."""
+        self._xs.clear()
+        self._gs.clear()
+
+    def update(self, x: np.ndarray, gx: np.ndarray) -> np.ndarray:
+        """Next iterate from the current pair (x, g(x))."""
+        x = np.asarray(x, dtype=float)
+        gx = np.asarray(gx, dtype=float)
+        self._xs.append(x.copy())
+        self._gs.append(gx.copy())
+        if len(self._xs) > self.depth + 1:
+            self._xs.pop(0)
+            self._gs.pop(0)
+        m = len(self._xs) - 1
+        if m == 0:
+            return x + self.beta * (gx - x)
+        F = [g - xx for g, xx in zip(self._gs, self._xs)]
+        dF = np.stack([F[i + 1] - F[i] for i in range(m)], axis=1)
+        dX = np.stack(
+            [self._xs[i + 1] - self._xs[i] for i in range(m)], axis=1
+        )
+        try:
+            theta, *_ = np.linalg.lstsq(dF, F[-1], rcond=None)
+        except np.linalg.LinAlgError:  # pragma: no cover - lstsq rarely fails
+            return x + self.beta * (gx - x)
+        x_bar = self._xs[-1] - dX @ theta
+        f_bar = F[-1] - dF @ theta
+        return x_bar + self.beta * f_bar

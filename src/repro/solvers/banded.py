@@ -1,0 +1,109 @@
+"""Banded-matrix utilities: the monolithic baseline solver.
+
+The wave-function kernel factors (E - H - Sigma) once per energy and
+back-substitutes for every injected mode.  Two interchangeable backends are
+provided:
+
+* LAPACK banded LU (``zgbsv``-family via ``scipy.linalg.lu_factor``-style
+  banded storage) — exploits that a slab Hamiltonian has bandwidth ~ slab
+  size;
+* scipy's sparse LU (SuperLU) on the CSR matrix.
+
+Both are exercised by the benchmarks as the single-domain baseline against
+which :class:`repro.solvers.SplitSolve` is compared (experiment F8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = [
+    "bandwidth_of_blocks",
+    "blocks_to_banded",
+    "BandedLU",
+    "SparseLU",
+]
+
+
+def bandwidth_of_blocks(block_sizes) -> int:
+    """Half-bandwidth of a block-tridiagonal matrix with these block sizes.
+
+    Row i of block b couples at most to the end of block b+1, so the half
+    bandwidth is bounded by ``max adjacent-pair size`` minus 1.
+    """
+    sizes = np.asarray(block_sizes, dtype=int)
+    if sizes.size == 1:
+        return int(sizes[0] - 1)
+    pair = sizes[:-1] + sizes[1:]
+    return int(pair.max() - 1)
+
+
+def blocks_to_banded(diag, upper, lower=None) -> tuple[np.ndarray, int]:
+    """Pack block-tridiagonal blocks into LAPACK band storage.
+
+    Returns ``(ab, kl)`` where ``ab[kl + i - j, j] = A[i, j]`` (the
+    ``scipy.linalg.solve_banded`` convention with ku = kl).
+    """
+    if lower is None:
+        lower = [u.conj().T for u in upper]
+    sizes = [d.shape[0] for d in diag]
+    n = int(np.sum(sizes))
+    kl = bandwidth_of_blocks(sizes)
+    ab = np.zeros((2 * kl + 1, n), dtype=complex)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    def put(block, r0, c0):
+        rows, cols = np.nonzero(np.ones_like(block, dtype=bool))
+        i = rows + r0
+        j = cols + c0
+        ab[kl + i - j, j] = block[rows, cols]
+
+    for b, d in enumerate(diag):
+        put(d, offsets[b], offsets[b])
+    for b, u in enumerate(upper):
+        put(u, offsets[b], offsets[b + 1])
+        put(lower[b], offsets[b + 1], offsets[b])
+    return ab, kl
+
+
+class BandedLU:
+    """LAPACK banded solve of a block-tridiagonal system (one-shot LU).
+
+    scipy's ``solve_banded`` refactors per call; for the repeated-RHS
+    pattern of the WF solver we instead stack all RHS into one call, which
+    is what the production code does with its multi-RHS banded kernels.
+    """
+
+    def __init__(self, diag, upper, lower=None):
+        self._ab, self._kl = blocks_to_banded(diag, upper, lower)
+        self.n = self._ab.shape[1]
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve A x = rhs for one or many RHS columns."""
+        rhs = np.asarray(rhs, dtype=complex)
+        if rhs.shape[0] != self.n:
+            raise ValueError(f"rhs has {rhs.shape[0]} rows, matrix is {self.n}")
+        return sla.solve_banded((self._kl, self._kl), self._ab, rhs)
+
+
+class SparseLU:
+    """SuperLU factorisation of a sparse matrix with cached factors."""
+
+    def __init__(self, matrix: sp.spmatrix):
+        self.n = matrix.shape[0]
+        self._lu = spla.splu(sp.csc_matrix(matrix))
+
+    @property
+    def fill_nnz(self) -> int:
+        """Number of nonzeros in the L + U factors (fill-in metric)."""
+        return int(self._lu.L.nnz + self._lu.U.nnz)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve A x = rhs for one or many RHS columns."""
+        rhs = np.asarray(rhs, dtype=complex)
+        if rhs.shape[0] != self.n:
+            raise ValueError(f"rhs has {rhs.shape[0]} rows, matrix is {self.n}")
+        return self._lu.solve(rhs)

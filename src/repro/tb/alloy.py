@@ -1,0 +1,208 @@
+"""Alloy materials: virtual-crystal averaging and random-alloy disorder.
+
+The nanowire studies around the reproduced paper (SiGe alloy wires) compare
+two treatments of an A(1-x)B(x) alloy:
+
+* **virtual crystal approximation (VCA)** — every site carries the
+  composition-weighted average parameters; cheap, translation invariant,
+  but misses disorder scattering entirely;
+* **random alloy** — each site is drawn A or B with probability (1-x, x);
+  the supercell loses translational symmetry, transmission drops below the
+  VCA ballistic value (alloy backscattering), and thin wires localise.
+
+Both are built here on top of the standard :class:`TBMaterial` machinery:
+the VCA as a derived material, the random alloy as a species-substituted
+structure plus a combined material carrying both species' parameters (the
+hetero pair approximated by the arithmetic mean of the homopolar
+integrals, the standard nearest-neighbour alloy treatment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+import numpy as np
+
+from ..lattice.structure import AtomicStructure
+from ..lattice.zincblende import ZincblendeCell, bond_length
+from .parameters import TBMaterial
+from .slater_koster import SKParams
+
+__all__ = [
+    "virtual_crystal_material",
+    "alloy_material",
+    "randomize_species",
+    "alloy_region_mask",
+]
+
+
+def _mix_params(a: SKParams, b: SKParams, x: float) -> SKParams:
+    return SKParams(
+        **{
+            f.name: (1.0 - x) * getattr(a, f.name) + x * getattr(b, f.name)
+            for f in fields(a)
+        }
+    )
+
+
+def _average_params(a: SKParams, b: SKParams) -> SKParams:
+    return _mix_params(a, b, 0.5)
+
+
+def _single_species(mat: TBMaterial) -> str:
+    species = sorted({s for pair in mat.sk for s in pair})
+    if len(species) != 1:
+        raise ValueError(
+            f"{mat.name} is not elemental; alloying needs elemental hosts"
+        )
+    return species[0]
+
+
+def virtual_crystal_material(
+    mat_a: TBMaterial, mat_b: TBMaterial, x: float, name: str | None = None
+) -> TBMaterial:
+    """VCA alloy A(1-x)B(x) of two elemental materials with equal bases.
+
+    On-site energies, two-centre integrals, spin-orbit strengths and the
+    lattice constant (Vegard's law) are interpolated linearly.  The alloy's
+    single species keeps the A host's name so existing structures can be
+    paired with it unchanged.
+    """
+    if not 0.0 <= x <= 1.0:
+        raise ValueError("composition x must be in [0, 1]")
+    if mat_a.basis != mat_b.basis:
+        raise ValueError("VCA requires identical bases")
+    sp_a = _single_species(mat_a)
+    sp_b = _single_species(mat_b)
+    onsite_a = mat_a.onsite[sp_a]
+    onsite_b = mat_b.onsite[sp_b]
+    mixed_onsite = {
+        orb: (1.0 - x) * onsite_a[orb] + x * onsite_b[orb]
+        for orb in onsite_a
+    }
+    a_nm = (1.0 - x) * mat_a.cell.a_nm + x * mat_b.cell.a_nm
+    cell = ZincblendeCell(a_nm=a_nm, anion=sp_a, cation=sp_a)
+    return TBMaterial(
+        name=name or f"VCA-{mat_a.name}({1 - x:.2f}){mat_b.name}({x:.2f})",
+        basis=mat_a.basis,
+        onsite={sp_a: mixed_onsite},
+        sk={(sp_a, sp_a): _mix_params(
+            mat_a.sk_params(sp_a, sp_a), mat_b.sk_params(sp_b, sp_b), x
+        )},
+        so_delta={
+            sp_a: (1.0 - x) * mat_a.so_delta.get(sp_a, 0.0)
+            + x * mat_b.so_delta.get(sp_b, 0.0)
+        },
+        bond_cutoff_nm=bond_length(a_nm),
+        slab_length_nm=a_nm,
+        cell=cell,
+    )
+
+
+def alloy_material(
+    mat_a: TBMaterial, mat_b: TBMaterial, name: str | None = None
+) -> TBMaterial:
+    """Combined material carrying both species for random-alloy supercells.
+
+    Atoms keep species A or B; hopping between unlike species uses the
+    arithmetic mean of the two homopolar parameter sets.  Geometry (lattice
+    constant, cutoff) is the A host's — random alloys on the host lattice,
+    i.e. chemical disorder without lattice relaxation (relaxation would
+    enter through :mod:`repro.tb.strain`).
+    """
+    if mat_a.basis != mat_b.basis:
+        raise ValueError("alloy components need identical bases")
+    sp_a = _single_species(mat_a)
+    sp_b = _single_species(mat_b)
+    if sp_a == sp_b:
+        raise ValueError("alloy components must be different elements")
+    p_aa = mat_a.sk_params(sp_a, sp_a)
+    p_bb = mat_b.sk_params(sp_b, sp_b)
+    p_ab = _average_params(p_aa, p_bb)
+    return TBMaterial(
+        name=name or f"alloy-{sp_a}{sp_b}",
+        basis=mat_a.basis,
+        onsite={sp_a: dict(mat_a.onsite[sp_a]), sp_b: dict(mat_b.onsite[sp_b])},
+        sk={
+            (sp_a, sp_a): p_aa,
+            (sp_b, sp_b): p_bb,
+            (sp_a, sp_b): p_ab,
+            (sp_b, sp_a): p_ab.reversed(),
+        },
+        so_delta={
+            sp_a: mat_a.so_delta.get(sp_a, 0.0),
+            sp_b: mat_b.so_delta.get(sp_b, 0.0),
+        },
+        bond_cutoff_nm=mat_a.bond_cutoff_nm,
+        slab_length_nm=mat_a.slab_length_nm,
+        cell=mat_a.cell,
+    )
+
+
+def alloy_region_mask(
+    structure: AtomicStructure, x_min: float, x_max: float
+) -> np.ndarray:
+    """Atoms whose x coordinate lies in [x_min, x_max] — the alloyed segment.
+
+    Transport supercells keep the lead cells pure (the contacts must stay
+    periodic); only the interior region is randomised.  Prefer
+    :func:`alloy_interior_mask` which aligns the region to slabs.
+    """
+    x = structure.positions[:, 0]
+    return (x >= x_min - 1e-9) & (x <= x_max + 1e-9)
+
+
+def alloy_interior_mask(device, n_lead_slabs: int = 2) -> np.ndarray:
+    """Atoms of all slabs except ``n_lead_slabs`` at each end.
+
+    The contact construction requires the two outermost slabs on each side
+    to be identical (the end slab and its inner neighbour form the lead
+    cell), so ``n_lead_slabs >= 2`` keeps the leads consistent.
+
+    Parameters
+    ----------
+    device : repro.lattice.SlabbedDevice
+        Slab-partitioned supercell.
+    n_lead_slabs : int
+        Pure slabs preserved at each end.
+    """
+    if n_lead_slabs < 2:
+        raise ValueError("keep at least 2 pure slabs per contact")
+    slab = device.slab_of_atom()
+    n = device.n_slabs
+    if n <= 2 * n_lead_slabs:
+        raise ValueError("no interior left to alloy")
+    return (slab >= n_lead_slabs) & (slab < n - n_lead_slabs)
+
+
+def randomize_species(
+    structure: AtomicStructure,
+    substituent: str,
+    fraction: float,
+    rng: np.random.Generator,
+    mask: np.ndarray | None = None,
+) -> AtomicStructure:
+    """Random-alloy realisation: substitute each masked atom with
+    probability ``fraction``.
+
+    Returns a new structure; the input is untouched.  Pass the same
+    ``rng`` state to reproduce a realisation.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if mask is None:
+        mask = np.ones(structure.n_atoms, dtype=bool)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (structure.n_atoms,):
+        raise ValueError("mask must have one entry per atom")
+    draws = rng.random(structure.n_atoms) < fraction
+    species = [
+        substituent if (mask[i] and draws[i]) else structure.species[i]
+        for i in range(structure.n_atoms)
+    ]
+    return AtomicStructure(
+        positions=structure.positions.copy(),
+        species=species,
+        periodic_y=structure.periodic_y,
+        sublattice=structure.sublattice.copy(),
+    )

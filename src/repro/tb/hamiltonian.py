@@ -1,0 +1,388 @@
+"""Tight-binding Hamiltonian assembly.
+
+Two products are built here:
+
+* :class:`BlockTridiagonalHamiltonian` — the device Hamiltonian in slab
+  (principal-layer) block form, the input of every transport kernel;
+* small dense Bloch Hamiltonians for periodic systems (bulk primitive cell,
+  periodic wire cell) used by the band-structure utilities.
+
+The assembler is deliberately a thin loop over the bond table: the physics
+(Slater-Koster blocks, spin-orbit, passivation projectors, strain scaling)
+lives in the dedicated modules, and everything here is bookkeeping that maps
+atoms to matrix rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..lattice.passivation import (
+    DEFAULT_PASSIVATION_SHIFT_EV,
+    find_dangling_bonds,
+)
+from ..lattice.slabs import SlabbedDevice
+from .orbitals import Orbital
+from .parameters import TBMaterial
+from .slater_koster import sk_hopping_block
+from .strain import scale_sk_params
+
+__all__ = [
+    "BlockTridiagonalHamiltonian",
+    "build_device_hamiltonian",
+    "bulk_hamiltonian",
+    "wire_bloch_hamiltonian",
+]
+
+
+@dataclass
+class BlockTridiagonalHamiltonian:
+    """Hermitian block-tridiagonal matrix H (dense complex blocks).
+
+    ``diagonal[i]`` is H_ii; ``upper[i]`` is H_{i,i+1}; the lower blocks are
+    implied by hermiticity, ``H_{i+1,i} = upper[i].conj().T``.
+
+    The block sizes may differ between slabs (tapered devices); most
+    transport kernels only require adjacent blocks to be conformable.
+    """
+
+    diagonal: list
+    upper: list
+
+    def __post_init__(self):
+        if len(self.upper) != len(self.diagonal) - 1:
+            raise ValueError(
+                f"{len(self.diagonal)} diagonal blocks need "
+                f"{len(self.diagonal) - 1} upper blocks, got {len(self.upper)}"
+            )
+        for i, d in enumerate(self.diagonal):
+            if d.ndim != 2 or d.shape[0] != d.shape[1]:
+                raise ValueError(f"diagonal block {i} is not square: {d.shape}")
+        for i, u in enumerate(self.upper):
+            ni = self.diagonal[i].shape[0]
+            nj = self.diagonal[i + 1].shape[0]
+            if u.shape != (ni, nj):
+                raise ValueError(
+                    f"upper block {i} has shape {u.shape}, expected ({ni}, {nj})"
+                )
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of diagonal blocks (slabs)."""
+        return len(self.diagonal)
+
+    @property
+    def block_sizes(self) -> np.ndarray:
+        """Size of each diagonal block."""
+        return np.array([d.shape[0] for d in self.diagonal])
+
+    @property
+    def total_size(self) -> int:
+        """Dimension of the full matrix."""
+        return int(self.block_sizes.sum())
+
+    def block_offsets(self) -> np.ndarray:
+        """Row offset of each block in the full matrix (n_blocks + 1)."""
+        return np.concatenate([[0], np.cumsum(self.block_sizes)])
+
+    def lower(self, i: int) -> np.ndarray:
+        """H_{i+1,i} = upper[i]^dagger."""
+        return self.upper[i].conj().T
+
+    def to_dense(self) -> np.ndarray:
+        """Full dense matrix (tests and small references only)."""
+        n = self.total_size
+        off = self.block_offsets()
+        H = np.zeros((n, n), dtype=complex)
+        for i, d in enumerate(self.diagonal):
+            H[off[i] : off[i + 1], off[i] : off[i + 1]] = d
+        for i, u in enumerate(self.upper):
+            H[off[i] : off[i + 1], off[i + 1] : off[i + 2]] = u
+            H[off[i + 1] : off[i + 2], off[i] : off[i + 1]] = u.conj().T
+        return H
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Sparse CSR form (input of the wave-function solver)."""
+        off = self.block_offsets()
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+
+        def _append(block: np.ndarray, r0: int, c0: int) -> None:
+            r, c = np.nonzero(block)
+            rows.append(r + r0)
+            cols.append(c + c0)
+            vals.append(block[r, c])
+
+        for i, d in enumerate(self.diagonal):
+            _append(d, off[i], off[i])
+        for i, u in enumerate(self.upper):
+            _append(u, off[i], off[i + 1])
+            _append(u.conj().T, off[i + 1], off[i])
+        n = self.total_size
+        if rows:
+            data = (
+                np.concatenate(vals),
+                (np.concatenate(rows), np.concatenate(cols)),
+            )
+            return sp.csr_matrix(data, shape=(n, n))
+        return sp.csr_matrix((n, n), dtype=complex)
+
+    def is_hermitian(self, atol: float = 1e-12) -> bool:
+        """Check hermiticity of the diagonal blocks (uppers are implied)."""
+        return all(
+            np.allclose(d, d.conj().T, atol=atol) for d in self.diagonal
+        )
+
+    def shifted(self, energy: float) -> "BlockTridiagonalHamiltonian":
+        """Return (H - energy * I) as a new block-tridiagonal matrix."""
+        eye_shift = [
+            d - energy * np.eye(d.shape[0], dtype=complex) for d in self.diagonal
+        ]
+        return BlockTridiagonalHamiltonian(eye_shift, [u.copy() for u in self.upper])
+
+
+def _hybrid_projector(direction: np.ndarray, material: TBMaterial) -> np.ndarray:
+    """sp3 hybrid projector |h><h| for a dangling bond along ``direction``.
+
+    |h> = (1/2) |s> + (sqrt(3)/2) (l |px> + m |py> + n |pz>); the projector
+    is embedded in the atom block (spin-doubled if the basis is spinful).
+    """
+    basis = material.basis
+    n_orb = basis.n_orbitals
+    h = np.zeros(n_orb)
+    orbs = list(basis.orbitals)
+    if Orbital.S in orbs:
+        h[orbs.index(Orbital.S)] = 0.5
+    for comp, orb in zip(direction, (Orbital.PX, Orbital.PY, Orbital.PZ)):
+        if orb in orbs:
+            h[orbs.index(orb)] = np.sqrt(3.0) / 2.0 * comp
+    norm = np.linalg.norm(h)
+    if norm == 0.0:
+        return np.zeros((basis.size, basis.size), dtype=complex)
+    h = h / norm
+    proj = np.outer(h, h).astype(complex)
+    if basis.spin:
+        proj = np.kron(proj, np.eye(2, dtype=complex))
+    return proj
+
+
+def _device_dangling_bonds(
+    device: SlabbedDevice, open_left: bool, open_right: bool, cutoff_nm: float
+):
+    """Dangling bonds of the device, excluding bonds satisfied by the leads.
+
+    The end slabs of an open device connect to semi-infinite leads that are
+    perfect copies of those slabs; a missing neighbour that *would* exist in
+    the lead copy is not dangling.  This is implemented exactly by gluing
+    ghost copies of the end slabs onto the structure and running the
+    dangling-bond search on the extended geometry.
+    """
+    from ..lattice.neighbors import build_neighbor_table
+    from ..lattice.passivation import DanglingBond
+
+    structure = device.structure
+    length = device.slab_length_nm
+    ext = structure
+    offset = 0
+    if open_left:
+        ghost = device.slab_structure(0).translated([-length, 0.0, 0.0])
+        ext = ghost.merged_with(ext)
+        offset = ghost.n_atoms
+    if open_right:
+        ghost = device.slab_structure(device.n_slabs - 1).translated(
+            [length, 0.0, 0.0]
+        )
+        ext = ext.merged_with(ghost)
+    table_ext = build_neighbor_table(ext, cutoff_nm=cutoff_nm)
+    dangling_ext = find_dangling_bonds(ext, table_ext)
+    n_atoms = structure.n_atoms
+    return [
+        DanglingBond(db.atom - offset, db.direction)
+        for db in dangling_ext
+        if offset <= db.atom < offset + n_atoms
+    ]
+
+
+def build_device_hamiltonian(
+    device: SlabbedDevice,
+    material: TBMaterial,
+    potential: np.ndarray | None = None,
+    k_transverse: float = 0.0,
+    passivate: bool = True,
+    passivation_shift_ev: float = DEFAULT_PASSIVATION_SHIFT_EV,
+    strain_eta: float | dict | None = None,
+    open_left: bool = True,
+    open_right: bool = True,
+) -> BlockTridiagonalHamiltonian:
+    """Assemble the device Hamiltonian in slab block-tridiagonal form.
+
+    Parameters
+    ----------
+    device : SlabbedDevice
+        Slab-ordered geometry (from :func:`repro.lattice.partition_into_slabs`).
+    material : TBMaterial
+        Basis, on-site energies and two-centre integrals.
+    potential : ndarray or None
+        Electrostatic potential energy (eV) per atom, added to every orbital
+        of that atom; None means zero.
+    k_transverse : float
+        Transverse Bloch momentum k_y (1/nm) for structures with
+        ``periodic_y``; bonds wrapping the boundary acquire the phase
+        ``exp(1j * k_y * wrap * L_y)``.
+    passivate : bool
+        Apply the dangling-hybrid passivation shift (zincblende materials
+        with an s+p basis only).
+    passivation_shift_ev : float
+        Energy shift of each dangling hybrid.
+    strain_eta : float, dict or None
+        If not None, scale each bond's integrals from the material's ideal
+        bond length to the actual bond length with this Harrison exponent.
+    open_left, open_right : bool
+        Whether the device continues into a semi-infinite lead on that side;
+        end-slab bonds pointing into a lead are then *not* passivated.  Set
+        both False for an isolated (closed) cluster.
+
+    Returns
+    -------
+    BlockTridiagonalHamiltonian
+    """
+    structure = device.structure
+    n_atoms = structure.n_atoms
+    n_orb = material.orbitals_per_atom
+    if potential is None:
+        potential = np.zeros(n_atoms)
+    potential = np.asarray(potential, dtype=float)
+    if potential.shape != (n_atoms,):
+        raise ValueError(
+            f"potential must have one entry per atom ({n_atoms}), got {potential.shape}"
+        )
+
+    slab_of = device.slab_of_atom()
+    starts = device.slab_starts
+    sizes = np.diff(starts) * n_orb
+    diagonal = [np.zeros((s, s), dtype=complex) for s in sizes]
+    upper = [
+        np.zeros((sizes[i], sizes[i + 1]), dtype=complex)
+        for i in range(device.n_slabs - 1)
+    ]
+
+    # local row offset of each atom inside its slab block
+    local = (np.arange(n_atoms) - starts[slab_of]) * n_orb
+
+    # --- on-site blocks -----------------------------------------------------
+    eye = np.eye(n_orb, dtype=complex)
+    for a in range(n_atoms):
+        s = slab_of[a]
+        r = local[a]
+        blk = material.onsite_matrix(structure.species[a]) + potential[a] * eye
+        diagonal[s][r : r + n_orb, r : r + n_orb] += blk
+
+    # --- passivation ----------------------------------------------------------
+    if passivate and material.cell is not None and material.basis.has_p():
+        if open_left or open_right:
+            dangling = _device_dangling_bonds(
+                device, open_left, open_right, material.bond_cutoff_nm
+            )
+        else:
+            dangling = find_dangling_bonds(structure, device.neighbor_table)
+        for db in dangling:
+            s = slab_of[db.atom]
+            r = local[db.atom]
+            proj = _hybrid_projector(db.direction, material)
+            diagonal[s][r : r + n_orb, r : r + n_orb] += (
+                passivation_shift_ev * proj
+            )
+
+    # --- hopping blocks -------------------------------------------------------
+    table = device.neighbor_table
+    spin = material.basis.spin
+    ideal_bond = material.bond_cutoff_nm
+    period = structure.periodic_y
+    spinless = material.basis if not spin else type(material.basis)(
+        material.basis.orbitals, spin=False
+    )
+    for b in range(table.n_bonds):
+        i, j = int(table.i[b]), int(table.j[b])
+        si, sj = slab_of[i], slab_of[j]
+        if sj < si or (sj == si and j < i):
+            continue  # fill each pair once; hermitian partner handled below
+        if i == j and table.wrap_y[b] < 0:
+            continue  # self-wrap bond: the -y image is the +y bond's partner
+        d = table.displacement[b]
+        dist = float(np.linalg.norm(d))
+        params = material.sk_params(structure.species[i], structure.species[j])
+        if strain_eta is not None and ideal_bond > 0:
+            params = scale_sk_params(params, ideal_bond, dist, strain_eta)
+        block = sk_hopping_block(params, d / dist, spinless).astype(complex)
+        if spin:
+            block = np.kron(block, np.eye(2, dtype=complex))
+        if table.wrap_y[b] and period is not None:
+            block = block * np.exp(1j * k_transverse * table.wrap_y[b] * period)
+        ri, rj = local[i], local[j]
+        if sj == si:
+            diagonal[si][ri : ri + n_orb, rj : rj + n_orb] += block
+            diagonal[si][rj : rj + n_orb, ri : ri + n_orb] += block.conj().T
+        elif sj == si + 1:
+            upper[si][ri : ri + n_orb, rj : rj + n_orb] += block
+        else:  # pragma: no cover - partition_into_slabs already forbids this
+            raise ValueError("bond couples non-adjacent slabs")
+
+    return BlockTridiagonalHamiltonian(diagonal, upper)
+
+
+def bulk_hamiltonian(material: TBMaterial, k: np.ndarray) -> np.ndarray:
+    """Bloch Hamiltonian of the 2-atom zincblende primitive cell at ``k``.
+
+    Uses the atomic gauge (phases from the actual bond vectors), so eigen-
+    values are exactly periodic in the reciprocal lattice.
+
+    Parameters
+    ----------
+    material : TBMaterial
+        Must be a zincblende material (``material.cell`` set).
+    k : array_like, shape (3,)
+        Wave vector in 1/nm.
+    """
+    from ..lattice.zincblende import primitive_cell_info
+
+    if material.cell is None:
+        raise ValueError("bulk_hamiltonian requires a zincblende material")
+    info = primitive_cell_info(material.cell)
+    k = np.asarray(k, dtype=float)
+    anion, cation = info["species"]
+    n_orb = material.orbitals_per_atom
+    spin = material.basis.spin
+    spinless = material.basis if not spin else type(material.basis)(
+        material.basis.orbitals, spin=False
+    )
+    H = np.zeros((2 * n_orb, 2 * n_orb), dtype=complex)
+    H[:n_orb, :n_orb] = material.onsite_matrix(anion)
+    H[n_orb:, n_orb:] = material.onsite_matrix(cation)
+    params = material.sk_params(anion, cation)
+    coupling = np.zeros((n_orb, n_orb), dtype=complex)
+    for delta in info["neighbor_vectors"]:
+        dist = np.linalg.norm(delta)
+        blk = sk_hopping_block(params, delta / dist, spinless).astype(complex)
+        if spin:
+            blk = np.kron(blk, np.eye(2, dtype=complex))
+        coupling += blk * np.exp(1j * (k @ delta))
+    H[:n_orb, n_orb:] = coupling
+    H[n_orb:, :n_orb] = coupling.conj().T
+    return H
+
+
+def wire_bloch_hamiltonian(
+    h00: np.ndarray, h01: np.ndarray, k_x: float, period_nm: float
+) -> np.ndarray:
+    """Bloch Hamiltonian H(k) = H00 + H01 e^{ikL} + H01^+ e^{-ikL} of a wire.
+
+    ``h00``/``h01`` are the slab diagonal and coupling blocks of a periodic
+    wire (every slab identical); the eigenvalues over k in [-pi/L, pi/L]
+    are the wire subbands.
+    """
+    phase = np.exp(1j * k_x * period_nm)
+    return h00 + h01 * phase + h01.conj().T * np.conj(phase)

@@ -1,0 +1,443 @@
+"""Empirical tight-binding parameter sets.
+
+Three families of materials are provided:
+
+* **sp3d5s*** — the 10-orbital nearest-neighbour basis of the production
+  simulator; Si parameters from Boykin, Klimeck & Oyafuso, PRB 69, 115201
+  (2004).
+* **sp3s*** — the classic 5-orbital Vogl basis (Vogl, Hjalmarson & Dow,
+  J. Phys. Chem. Solids 44, 365 (1983)); Si, Ge, GaAs, InAs.  The published
+  tables list the Vogl-convention matrix elements V(x,y) etc.; they are
+  converted to two-centre integrals here (the conversion is exercised by
+  the band-structure tests).
+* **single-band** — one s orbital on a simple-cubic grid realising the
+  discretized effective-mass Hamiltonian; the cheap stand-in material used
+  by the fast examples and most transport tests.
+
+All energies in eV, lengths in nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lattice.zincblende import ZincblendeCell, bond_length
+from ..physics.constants import HBAR2_OVER_2M0
+from .orbitals import BASIS_S, BASIS_SP3D5S, BASIS_SP3S, BasisSet, Orbital
+from .slater_koster import SKParams
+from .spin_orbit import spin_orbit_block
+
+__all__ = [
+    "TBMaterial",
+    "single_band_material",
+    "silicon_sp3s",
+    "germanium_sp3s",
+    "gaas_sp3s",
+    "inas_sp3s",
+    "silicon_sp3d5s",
+    "MATERIAL_BUILDERS",
+    "get_material",
+]
+
+
+@dataclass
+class TBMaterial:
+    """A material: basis + on-site energies + two-centre integrals.
+
+    Attributes
+    ----------
+    name : str
+        Registry name.
+    basis : BasisSet
+        Orbitals per atom (spin flag included).
+    onsite : dict
+        ``{species: {Orbital: energy}}``.
+    sk : dict
+        ``{(species_i, species_j): SKParams}`` for ordered pairs.
+    so_delta : dict
+        ``{species: valence-band spin-orbit splitting Delta (eV)}``.
+    bond_cutoff_nm : float
+        Nearest-neighbour search radius.
+    slab_length_nm : float
+        Transport-direction period (slab pitch) of this material's devices.
+    cell : ZincblendeCell or None
+        Crystal geometry for zincblende materials; None for grid materials.
+    grid_spacing_nm : float or None
+        Lattice constant of the simple-cubic grid material; None otherwise.
+    band_edges : dict
+        Reference band edges {"Ec": ..., "Ev": ...} (eV) used by the
+        semiclassical charge model; for TB materials these are the computed
+        bulk edges, for the single-band material Ec is exact.
+    """
+
+    name: str
+    basis: BasisSet
+    onsite: dict
+    sk: dict
+    so_delta: dict = field(default_factory=dict)
+    bond_cutoff_nm: float = 0.0
+    slab_length_nm: float = 0.0
+    cell: ZincblendeCell | None = None
+    grid_spacing_nm: float | None = None
+    band_edges: dict = field(default_factory=dict)
+
+    def with_spin(self) -> "TBMaterial":
+        """Copy of this material in the spin-doubled basis."""
+        return TBMaterial(
+            name=self.name + "+so",
+            basis=self.basis.with_spin(),
+            onsite=self.onsite,
+            sk=self.sk,
+            so_delta=self.so_delta,
+            bond_cutoff_nm=self.bond_cutoff_nm,
+            slab_length_nm=self.slab_length_nm,
+            cell=self.cell,
+            grid_spacing_nm=self.grid_spacing_nm,
+            band_edges=dict(self.band_edges),
+        )
+
+    # ------------------------------------------------------------------
+    def onsite_matrix(self, species: str) -> np.ndarray:
+        """On-site block of one atom (includes spin-orbit if spinful)."""
+        if species not in self.onsite:
+            raise KeyError(f"no on-site energies for species {species!r}")
+        table = self.onsite[species]
+        diag = np.array([table[o] for o in self.basis.orbitals])
+        if not self.basis.spin:
+            return np.diag(diag).astype(complex)
+        H = np.kron(np.diag(diag), np.eye(2)).astype(complex)
+        H += spin_orbit_block(self.so_delta.get(species, 0.0), self.basis)
+        return H
+
+    def sk_params(self, species_i: str, species_j: str) -> SKParams:
+        """Two-centre integrals for an ordered species pair."""
+        key = (species_i, species_j)
+        if key in self.sk:
+            return self.sk[key]
+        rev = (species_j, species_i)
+        if rev in self.sk:
+            return self.sk[rev].reversed()
+        raise KeyError(f"no Slater-Koster parameters for pair {key}")
+
+    @property
+    def orbitals_per_atom(self) -> int:
+        """Matrix dimension contributed by one atom."""
+        return self.basis.size
+
+
+# ---------------------------------------------------------------------------
+# single-band effective-mass grid material
+# ---------------------------------------------------------------------------
+
+
+def single_band_material(
+    m_rel: float = 0.25,
+    spacing_nm: float = 0.25,
+    band_edge_ev: float = 0.0,
+    n_dim: int = 3,
+    name: str = "single-band",
+) -> TBMaterial:
+    """One-orbital simple-cubic material: the discretized effective-mass model.
+
+    Hopping ``-t`` with ``t = hbar^2 / (2 m a^2)``; on-site ``2 d t + Ec``
+    so the band minimum sits exactly at ``Ec`` and the dispersion near it is
+    parabolic with mass ``m_rel`` (Boykin & Klimeck, Eur. J. Phys. 25, 503
+    (2004)).  ``n_dim`` is the dimensionality of the *grid* (3 for wire
+    devices cut from a 3-D grid, 1 for analytic chain tests).
+    """
+    if n_dim not in (1, 2, 3):
+        raise ValueError("n_dim must be 1, 2 or 3")
+    t = HBAR2_OVER_2M0 / (m_rel * spacing_nm**2)
+    onsite = {"X": {Orbital.S: 2.0 * n_dim * t + band_edge_ev}}
+    sk = {("X", "X"): SKParams(ss_sigma=-t)}
+    return TBMaterial(
+        name=name,
+        basis=BASIS_S,
+        onsite=onsite,
+        sk=sk,
+        bond_cutoff_nm=spacing_nm,
+        slab_length_nm=spacing_nm,
+        grid_spacing_nm=spacing_nm,
+        band_edges={"Ec": band_edge_ev, "m_rel": m_rel},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vogl sp3s* materials
+# ---------------------------------------------------------------------------
+
+
+def _vogl_to_sk(
+    v_ss: float,
+    v_xx: float,
+    v_xy: float,
+    v_sa_pc: float,
+    v_sc_pa: float,
+    v_sstara_pc: float,
+    v_pa_sstarc: float,
+) -> tuple[SKParams, SKParams]:
+    """Convert Vogl-table matrix elements to two-centre integrals.
+
+    Vogl tabulates V(x,x) = 4 E_{x,x}(d111) etc.; with direction cosines
+    l = m = n = 1/sqrt(3):
+
+        V(s,s)   = 4 Vss_sigma
+        V(x,x)   = (4/3)(Vpp_sigma + 2 Vpp_pi)
+        V(x,y)   = (4/3)(Vpp_sigma - Vpp_pi)
+        V(sa,pc) = (4/sqrt(3)) Vsp_sigma(a->c)        (etc.)
+
+    Returns (params for anion->cation, params for cation->anion).
+    """
+    s3o4 = np.sqrt(3.0) / 4.0
+    pp_sigma = (3.0 * v_xx / 4.0 + 2.0 * (3.0 * v_xy / 4.0)) / 3.0
+    pp_pi = (3.0 * v_xx / 4.0 - 3.0 * v_xy / 4.0) / 3.0
+    ac = SKParams(
+        ss_sigma=v_ss / 4.0,
+        sp_sigma=s3o4 * v_sa_pc,  # s(anion) -> p(cation)
+        ps_sigma=s3o4 * v_sc_pa,  # p(anion) -> s(cation)
+        pp_sigma=pp_sigma,
+        pp_pi=pp_pi,
+        sstar_p_sigma=s3o4 * v_sstara_pc,  # s*(anion) -> p(cation)
+        p_sstar_sigma=s3o4 * v_pa_sstarc,  # p(anion) -> s*(cation)
+    )
+    return ac, ac.reversed()
+
+
+def _vogl_material(
+    name: str,
+    a_nm: float,
+    anion: str,
+    cation: str,
+    es_a: float,
+    es_c: float,
+    ep_a: float,
+    ep_c: float,
+    esstar_a: float,
+    esstar_c: float,
+    v_ss: float,
+    v_xx: float,
+    v_xy: float,
+    v_sa_pc: float,
+    v_sc_pa: float,
+    v_sstara_pc: float,
+    v_pa_sstarc: float,
+    so_a: float = 0.0,
+    so_c: float = 0.0,
+    band_edges: dict | None = None,
+) -> TBMaterial:
+    cell = ZincblendeCell(a_nm=a_nm, anion=anion, cation=cation)
+    ac, ca = _vogl_to_sk(v_ss, v_xx, v_xy, v_sa_pc, v_sc_pa, v_sstara_pc, v_pa_sstarc)
+    onsite = {
+        anion: {
+            Orbital.S: es_a,
+            Orbital.PX: ep_a,
+            Orbital.PY: ep_a,
+            Orbital.PZ: ep_a,
+            Orbital.SSTAR: esstar_a,
+        },
+    }
+    onsite[cation] = {
+        Orbital.S: es_c,
+        Orbital.PX: ep_c,
+        Orbital.PY: ep_c,
+        Orbital.PZ: ep_c,
+        Orbital.SSTAR: esstar_c,
+    }
+    sk = {(anion, cation): ac}
+    if cation != anion:
+        sk[(cation, anion)] = ca
+    return TBMaterial(
+        name=name,
+        basis=BASIS_SP3S,
+        onsite=onsite,
+        sk=sk,
+        so_delta={anion: so_a, cation: so_c},
+        bond_cutoff_nm=bond_length(a_nm),
+        slab_length_nm=a_nm,
+        cell=cell,
+        band_edges=band_edges or {},
+    )
+
+
+def silicon_sp3s() -> TBMaterial:
+    """Si in the Vogl sp3s* basis (indirect gap ~1.17 eV near X)."""
+    return _vogl_material(
+        "Si-sp3s*",
+        a_nm=0.5431,
+        anion="Si",
+        cation="Si",
+        es_a=-4.2000,
+        es_c=-4.2000,
+        ep_a=1.7150,
+        ep_c=1.7150,
+        esstar_a=6.6850,
+        esstar_c=6.6850,
+        v_ss=-8.3000,
+        v_xx=1.7150,
+        v_xy=4.5750,
+        v_sa_pc=5.7292,
+        v_sc_pa=5.7292,
+        v_sstara_pc=5.3749,
+        v_pa_sstarc=5.3749,
+        so_a=0.044,
+        so_c=0.044,
+        band_edges={"Ev": None, "Ec": None},
+    )
+
+
+def germanium_sp3s() -> TBMaterial:
+    """Ge in the Vogl sp3s* basis."""
+    return _vogl_material(
+        "Ge-sp3s*",
+        a_nm=0.5658,
+        anion="Ge",
+        cation="Ge",
+        es_a=-5.8800,
+        es_c=-5.8800,
+        ep_a=1.6100,
+        ep_c=1.6100,
+        esstar_a=6.3900,
+        esstar_c=6.3900,
+        v_ss=-6.7800,
+        v_xx=1.6100,
+        v_xy=4.9000,
+        v_sa_pc=5.4649,
+        v_sc_pa=5.4649,
+        v_sstara_pc=5.2191,
+        v_pa_sstarc=5.2191,
+        so_a=0.290,
+        so_c=0.290,
+    )
+
+
+def gaas_sp3s() -> TBMaterial:
+    """GaAs in the Vogl sp3s* basis (direct gap ~1.55 eV at Gamma)."""
+    return _vogl_material(
+        "GaAs-sp3s*",
+        a_nm=0.5653,
+        anion="As",
+        cation="Ga",
+        es_a=-8.3431,
+        es_c=-2.6569,
+        ep_a=1.0414,
+        ep_c=3.6686,
+        esstar_a=8.5914,
+        esstar_c=6.7386,
+        v_ss=-6.4513,
+        v_xx=1.9546,
+        v_xy=5.0779,
+        v_sa_pc=4.4800,
+        v_sc_pa=5.7839,
+        v_sstara_pc=4.8422,
+        v_pa_sstarc=4.8077,
+        so_a=0.340,
+        so_c=0.340,
+    )
+
+
+def inas_sp3s() -> TBMaterial:
+    """InAs in the Vogl sp3s* basis (direct gap ~0.37 eV at Gamma)."""
+    return _vogl_material(
+        "InAs-sp3s*",
+        a_nm=0.6058,
+        anion="As",
+        cation="In",
+        es_a=-9.5381,
+        es_c=-2.7219,
+        ep_a=0.9099,
+        ep_c=3.7201,
+        esstar_a=7.4099,
+        esstar_c=6.7401,
+        v_ss=-5.6052,
+        v_xx=1.8398,
+        v_xy=4.4693,
+        v_sa_pc=3.0354,
+        v_sc_pa=5.4389,
+        v_sstara_pc=3.3744,
+        v_pa_sstarc=3.9097,
+        so_a=0.380,
+        so_c=0.380,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Boykin sp3d5s* silicon
+# ---------------------------------------------------------------------------
+
+
+def silicon_sp3d5s() -> TBMaterial:
+    """Si in the nearest-neighbour sp3d5s* basis.
+
+    Parameters from Boykin, Klimeck & Oyafuso, PRB 69, 115201 (2004) —
+    the parameterisation used by NEMO-3D and OMEN for silicon devices.
+    These are direct two-centre integrals (no Vogl conversion).
+    """
+    a_nm = 0.5431
+    cell = ZincblendeCell(a_nm=a_nm, anion="Si", cation="Si")
+    es, ep, ed, esstar = -2.15168, 4.22925, 13.78950, 19.11650
+    pp = {
+        "ss_sigma": -1.95933,
+        "sstar_sstar_sigma": -4.24135,
+        "s_sstar_sigma": -1.52230,
+        "sstar_s_sigma": -1.52230,
+        "sp_sigma": 3.02562,
+        "ps_sigma": 3.02562,
+        "sstar_p_sigma": 3.15565,
+        "p_sstar_sigma": 3.15565,
+        "sd_sigma": -2.28485,
+        "ds_sigma": -2.28485,
+        "sstar_d_sigma": -0.80993,
+        "d_sstar_sigma": -0.80993,
+        "pp_sigma": 4.10364,
+        "pp_pi": -1.51801,
+        "pd_sigma": -1.35554,
+        "dp_sigma": -1.35554,
+        "pd_pi": 2.38479,
+        "dp_pi": 2.38479,
+        "dd_sigma": -1.68136,
+        "dd_pi": 2.58880,
+        "dd_delta": -1.81400,
+    }
+    onsite_si = {
+        Orbital.S: es,
+        Orbital.PX: ep,
+        Orbital.PY: ep,
+        Orbital.PZ: ep,
+        Orbital.DXY: ed,
+        Orbital.DYZ: ed,
+        Orbital.DZX: ed,
+        Orbital.DX2Y2: ed,
+        Orbital.DZ2: ed,
+        Orbital.SSTAR: esstar,
+    }
+    return TBMaterial(
+        name="Si-sp3d5s*",
+        basis=BASIS_SP3D5S,
+        onsite={"Si": onsite_si},
+        sk={("Si", "Si"): SKParams(**pp)},
+        so_delta={"Si": 0.0441},
+        bond_cutoff_nm=bond_length(a_nm),
+        slab_length_nm=a_nm,
+        cell=cell,
+    )
+
+
+MATERIAL_BUILDERS = {
+    "Si-sp3s*": silicon_sp3s,
+    "Ge-sp3s*": germanium_sp3s,
+    "GaAs-sp3s*": gaas_sp3s,
+    "InAs-sp3s*": inas_sp3s,
+    "Si-sp3d5s*": silicon_sp3d5s,
+    "single-band": single_band_material,
+}
+
+
+def get_material(name: str, **kwargs) -> TBMaterial:
+    """Instantiate a registered material by name (kwargs forwarded)."""
+    if name not in MATERIAL_BUILDERS:
+        raise KeyError(
+            f"unknown material {name!r}; known: {sorted(MATERIAL_BUILDERS)}"
+        )
+    return MATERIAL_BUILDERS[name](**kwargs)

@@ -1,0 +1,83 @@
+"""Intra-atomic spin-orbit coupling for the p shell.
+
+Empirical TB treats spin-orbit as the on-site operator
+
+    H_SO = (Delta / 3) * L . sigma          (restricted to the p shell)
+
+whose eigenvalues split the six p⊗spin states into a j=3/2 quadruplet at
++Delta/3 and a j=1/2 doublet at -2*Delta/3 — a total splitting of Delta,
+the experimentally tabulated valence-band spin-orbit splitting.  d-shell
+spin-orbit is negligible for the materials of interest and omitted, as in
+the production parameterisations.
+
+The operator is constructed algebraically from the l=1 angular-momentum
+matrices in the (px, py, pz) basis, ``(L_k)_{ab} = -i eps_{kab}``, so no
+hand-copied matrix can be wrong: the tests verify the eigenvalue split and
+the commutation relations directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .orbitals import BasisSet, Orbital
+
+__all__ = ["spin_orbit_block", "p_shell_l_matrices", "PAULI"]
+
+#: Pauli matrices (x, y, z), shape (3, 2, 2).
+PAULI = np.array(
+    [
+        [[0.0, 1.0], [1.0, 0.0]],
+        [[0.0, -1.0j], [1.0j, 0.0]],
+        [[1.0, 0.0], [0.0, -1.0]],
+    ],
+    dtype=complex,
+)
+
+
+def p_shell_l_matrices() -> np.ndarray:
+    """l=1 angular momentum matrices in the real (px, py, pz) basis.
+
+    ``(L_k)_{ab} = -i * eps_{kab}`` with hbar = 1; shape (3, 3, 3).
+    """
+    eps = np.zeros((3, 3, 3))
+    eps[0, 1, 2] = eps[1, 2, 0] = eps[2, 0, 1] = 1.0
+    eps[0, 2, 1] = eps[2, 1, 0] = eps[1, 0, 2] = -1.0
+    return -1j * eps
+
+
+def spin_orbit_block(delta_so: float, basis: BasisSet) -> np.ndarray:
+    """On-site spin-orbit matrix for one atom in the spinful basis.
+
+    Parameters
+    ----------
+    delta_so : float
+        Valence-band spin-orbit splitting Delta (eV).
+    basis : BasisSet
+        Must have ``spin=True``.  Orbitals outside the p shell receive no
+        coupling.
+
+    Returns
+    -------
+    ndarray, shape (basis.size, basis.size), complex
+        The operator (Delta/3) L.sigma embedded in the atom block, with the
+        orbital-major spin ordering of :class:`BasisSet`.
+    """
+    if not basis.spin:
+        raise ValueError("spin-orbit requires a spinful basis")
+    n = basis.size
+    H = np.zeros((n, n), dtype=complex)
+    if delta_so == 0.0 or not basis.has_p():
+        return H
+    L = p_shell_l_matrices()
+    ls = np.einsum("kab,kst->asbt", L, PAULI)  # L.sigma, indices (orb,spin,orb,spin)
+    p_orbs = [Orbital.PX, Orbital.PY, Orbital.PZ]
+    lam = delta_so / 3.0
+    for a, oa in enumerate(p_orbs):
+        for b, ob in enumerate(p_orbs):
+            for sa in range(2):
+                for sb in range(2):
+                    ia = basis.index(oa, spin_up=(sa == 0))
+                    ib = basis.index(ob, spin_up=(sb == 0))
+                    H[ia, ib] = lam * ls[a, sa, b, sb]
+    return H

@@ -1,0 +1,5 @@
+"""Wave-function (QTBM) scattering-state transport."""
+
+from .qtbm import WFResult, WFSolver
+
+__all__ = ["WFResult", "WFSolver"]

@@ -1,0 +1,189 @@
+"""Tests for device specification and construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeviceSpec, build_device
+
+
+def small_spec(**over):
+    kwargs = dict(
+        n_x=10,
+        n_y=2,
+        n_z=2,
+        spacing_nm=0.25,
+        source_cells=3,
+        drain_cells=3,
+        gate_cells=(4, 6),
+        donor_density_nm3=0.05,
+        material_params={"m_rel": 0.3},
+    )
+    kwargs.update(over)
+    return DeviceSpec(**kwargs)
+
+
+class TestDeviceSpec:
+    def test_defaults_valid(self):
+        DeviceSpec()
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(geometry="fin")
+
+    def test_contacts_too_long(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(n_x=8, source_cells=4, drain_cells=4)
+
+    def test_gate_outside(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(n_x=8, source_cells=2, drain_cells=2, gate_cells=(3, 9))
+
+    def test_bad_doping(self):
+        with pytest.raises(ValueError):
+            small_spec(donor_density_nm3=0.0)
+
+    def test_kT(self):
+        assert small_spec(temperature_k=300.0).kT == pytest.approx(0.02585, abs=1e-4)
+
+
+class TestBuildGridDevice:
+    def test_atom_count(self):
+        built = build_device(small_spec())
+        assert built.n_atoms == 10 * 2 * 2
+        assert built.device.n_slabs == 10
+
+    def test_doping_profile(self):
+        built = build_device(small_spec())
+        slab = built.device.slab_of_atom()
+        donors = built.donors_per_atom
+        assert np.all(donors[slab < 3] > 0)
+        assert np.all(donors[(slab >= 3) & (slab < 7)] == 0)
+        assert np.all(donors[slab >= 7] > 0)
+
+    def test_donor_units(self):
+        spec = small_spec()
+        built = build_device(spec)
+        expected = spec.donor_density_nm3 * spec.spacing_nm**3
+        assert built.donors_per_atom.max() == pytest.approx(expected)
+
+    def test_band_edge_is_wire_cbm(self):
+        """Contact reference must include the confinement shift."""
+        from repro.physics.constants import effective_mass_hopping
+
+        spec = small_spec()
+        built = build_device(spec)
+        t = effective_mass_hopping(0.3, 0.25)
+        # 2x2 hard-wall cross-section: transverse ground state
+        e_conf = 2 * (2 * t * (1 - np.cos(np.pi / 3)))
+        assert built.band_edge == pytest.approx(e_conf, rel=1e-6)
+
+    def test_contact_mu_bias(self):
+        built = build_device(small_spec())
+        mu_s = built.contact_mu("source")
+        assert built.contact_mu("drain", 0.3) == pytest.approx(mu_s - 0.3)
+        with pytest.raises(ValueError):
+            built.contact_mu("top")
+
+    def test_mu_above_band_for_degenerate_doping(self):
+        hi = build_device(small_spec(donor_density_nm3=0.1))
+        lo = build_device(small_spec(donor_density_nm3=1e-4))
+        assert hi.mu_source_offset > lo.mu_source_offset
+
+    def test_poisson_mesh_covers_atoms_with_padding(self):
+        built = build_device(small_spec(oxide_padding=2))
+        lo, hi = (
+            built.device.structure.positions.min(axis=0),
+            built.device.structure.positions.max(axis=0),
+        )
+        coords = built.poisson_grid.coordinates()
+        assert coords[:, 1].min() < lo[1]
+        assert coords[:, 1].max() > hi[1]
+
+    def test_eps_map(self):
+        built = build_device(small_spec(oxide_padding=2))
+        assert set(np.unique(built.eps_r)) == {3.9, 11.7}
+        # semiconductor nodes use the semiconductor permittivity
+        assert np.all(built.eps_r[built.semiconductor_mask] == 11.7)
+
+    def test_gate_mask_in_window_only(self):
+        spec = small_spec(gate_cells=(4, 6))
+        built = build_device(spec)
+        coords = built.poisson_grid.coordinates()
+        gate_x = coords[built.gate_mask, 0]
+        assert gate_x.min() >= 4 * spec.spacing_nm - 1e-9
+        assert gate_x.max() <= 7 * spec.spacing_nm + 1e-9
+
+    def test_gate_mask_on_faces_only(self):
+        built = build_device(small_spec())
+        faces = built.poisson_grid.boundary_mask(("y-", "y+", "z-", "z+"))
+        assert np.all(faces[built.gate_mask])
+
+    def test_atom_volume(self):
+        built = build_device(small_spec())
+        v = built.atom_volume_nm3()
+        assert v == pytest.approx(0.25**3, rel=0.5)
+
+
+class TestBuildZincblende:
+    def test_wire(self):
+        spec = DeviceSpec(
+            geometry="nanowire-zb",
+            material="Si-sp3s*",
+            n_x=4,
+            n_y=1,
+            n_z=1,
+            source_cells=1,
+            drain_cells=1,
+            gate_cells=(1, 2),
+            donor_density_nm3=0.05,
+        )
+        built = build_device(spec)
+        assert built.material.name == "Si-sp3s*"
+        # confinement pushes the wire CBM far above the bulk Ec ~ 1.17 eV
+        assert built.band_edge > 1.5
+
+    def test_utb_momentum_grid(self):
+        spec = DeviceSpec(
+            geometry="utb-zb",
+            material="Si-sp3s*",
+            n_x=4,
+            n_z=1,
+            source_cells=1,
+            drain_cells=1,
+            gate_cells=(1, 2),
+            donor_density_nm3=0.05,
+        )
+        built = build_device(spec)
+        assert len(built.momentum_grid) > 1
+        assert built.device.structure.periodic_y is not None
+
+    def test_grid_material_on_zb_geometry_rejected(self):
+        spec = DeviceSpec(
+            geometry="nanowire-zb",
+            material="single-band",
+            n_x=4,
+            n_y=1,
+            n_z=1,
+            source_cells=1,
+            drain_cells=1,
+            gate_cells=(1, 2),
+            donor_density_nm3=0.05,
+        )
+        with pytest.raises(ValueError):
+            build_device(spec)
+
+    def test_spin_orbit_doubles_basis(self):
+        spec = DeviceSpec(
+            geometry="nanowire-zb",
+            material="Si-sp3s*",
+            n_x=4,
+            n_y=1,
+            n_z=1,
+            source_cells=1,
+            drain_cells=1,
+            gate_cells=(1, 2),
+            donor_density_nm3=0.05,
+            spin_orbit=True,
+        )
+        built = build_device(spec)
+        assert built.material.basis.spin

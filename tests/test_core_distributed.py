@@ -1,0 +1,94 @@
+"""Tests for the distributed (SPMD) transport driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeviceSpec,
+    DistributedTransport,
+    TransportCalculation,
+    build_device,
+)
+from repro.parallel import SerialComm, TracedComm
+
+
+@pytest.fixture(scope="module")
+def system():
+    spec = DeviceSpec(
+        n_x=10, n_y=2, n_z=2, spacing_nm=0.25, source_cells=3,
+        drain_cells=3, gate_cells=(4, 6), donor_density_nm3=0.05,
+        material_params={"m_rel": 0.3},
+    )
+    built = build_device(spec)
+    tc = TransportCalculation(built, method="wf", n_energy=21)
+    return built, tc
+
+
+class TestDistributedTransport:
+    @pytest.mark.parametrize("n_ranks", [1, 3, 4, 21, 40])
+    def test_matches_serial(self, system, n_ranks):
+        """SPMD invariant: reduced partials == serial observables."""
+        built, tc = system
+        pot = np.zeros(built.n_atoms)
+        serial = tc.solve_bias(pot, 0.1)
+        dist = DistributedTransport(tc)
+        out = dist.solve_bias(pot, 0.1, SerialComm(), n_ranks=n_ranks)
+        assert out["current_a"] == pytest.approx(serial.current_a, rel=1e-10)
+        np.testing.assert_allclose(
+            out["density_per_atom"], serial.density_per_atom,
+            rtol=1e-10, atol=1e-14,
+        )
+
+    def test_task_coverage(self, system):
+        built, tc = system
+        pot = np.zeros(built.n_atoms)
+        dist = DistributedTransport(tc)
+        out = dist.solve_bias(pot, 0.1, SerialComm(), n_ranks=5)
+        n_k = len(built.momentum_grid)
+        n_e = len(out["energy_grid"])
+        assert out["n_tasks_total"] == n_k * n_e
+
+    def test_rank_partials_disjoint_and_complete(self, system):
+        built, tc = system
+        pot = np.zeros(built.n_atoms)
+        dist = DistributedTransport(tc)
+        decomp, grid = dist.decomposition(4, 0.1, pot)
+        partials = [
+            dist.rank_partial(r, decomp, grid, pot, 0.1)
+            for r in range(decomp.n_ranks)
+        ]
+        total_tasks = sum(p.n_tasks for p in partials)
+        assert total_tasks == len(grid) * len(built.momentum_grid)
+        # partial currents are additive to the serial value
+        serial = tc.solve_bias(pot, 0.1)
+        assert sum(p.current_a for p in partials) == pytest.approx(
+            serial.current_a, rel=1e-10
+        )
+
+    def test_with_potential_barrier(self, system):
+        built, tc = system
+        pot = np.zeros(built.n_atoms)
+        slab = built.device.slab_of_atom()
+        pot[(slab >= 4) & (slab <= 6)] = 0.2
+        serial = tc.solve_bias(pot, 0.15)
+        dist = DistributedTransport(tc)
+        out = dist.solve_bias(pot, 0.15, SerialComm(), n_ranks=7)
+        assert out["current_a"] == pytest.approx(serial.current_a, rel=1e-10)
+
+    def test_traced_comm_usable(self, system):
+        """TracedComm with size 1 behaves like SerialComm for the driver."""
+        built, tc = system
+        pot = np.zeros(built.n_atoms)
+        dist = DistributedTransport(tc)
+        comm = TracedComm(size=1)
+        out = dist.solve_bias(pot, 0.1, comm, n_ranks=3)
+        serial = tc.solve_bias(pot, 0.1)
+        assert out["current_a"] == pytest.approx(serial.current_a, rel=1e-10)
+
+    def test_decomposition_respects_work_sizes(self, system):
+        built, tc = system
+        pot = np.zeros(built.n_atoms)
+        dist = DistributedTransport(tc)
+        decomp, grid = dist.decomposition(1000, 0.1, pot)
+        assert decomp.groups[1] <= len(built.momentum_grid)
+        assert decomp.groups[2] <= len(grid)

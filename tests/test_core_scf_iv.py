@@ -1,0 +1,191 @@
+"""SCF-loop and I-V engine tests on a small grid-material FET."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeviceSpec,
+    IVSweep,
+    SelfConsistentSolver,
+    TransportCalculation,
+    build_device,
+    subthreshold_swing_mv_dec,
+)
+
+
+@pytest.fixture(scope="module")
+def fet():
+    spec = DeviceSpec(
+        n_x=12,
+        n_y=2,
+        n_z=2,
+        spacing_nm=0.25,
+        source_cells=4,
+        drain_cells=4,
+        gate_cells=(4, 7),
+        donor_density_nm3=0.05,
+        material_params={"m_rel": 0.3},
+    )
+    built = build_device(spec)
+    transport = TransportCalculation(built, method="wf", n_energy=31)
+    return built, transport
+
+
+class TestSCF:
+    def test_converges(self, fet):
+        built, transport = fet
+        scf = SelfConsistentSolver(built, transport, max_iterations=40)
+        out = scf.run(v_gate=0.0, v_drain=0.05)
+        assert out.converged
+        assert out.residuals[-1] < scf.tol_v
+
+    def test_residuals_decrease_overall(self, fet):
+        built, transport = fet
+        scf = SelfConsistentSolver(built, transport, max_iterations=40)
+        out = scf.run(v_gate=-0.2, v_drain=0.05)
+        assert out.converged
+        assert out.residuals[-1] < out.residuals[0]
+
+    def test_gate_modulates_current(self, fet):
+        built, transport = fet
+        scf = SelfConsistentSolver(built, transport, max_iterations=40)
+        i_off = scf.run(v_gate=-0.4, v_drain=0.05).transport.current_a
+        i_on = scf.run(v_gate=0.1, v_drain=0.05).transport.current_a
+        assert i_on > 50 * max(i_off, 1e-30)
+
+    def test_gate_raises_channel_barrier(self, fet):
+        built, transport = fet
+        scf = SelfConsistentSolver(built, transport, max_iterations=40)
+        out_neg = scf.run(v_gate=-0.4, v_drain=0.0)
+        out_pos = scf.run(v_gate=0.1, v_drain=0.0)
+        slab = built.device.slab_of_atom()
+        mid = built.device.n_slabs // 2
+        u_neg = out_neg.potential_ev[slab == mid].mean()
+        u_pos = out_pos.potential_ev[slab == mid].mean()
+        assert u_neg > u_pos + 0.2
+
+    def test_warm_start_accelerates(self, fet):
+        built, transport = fet
+        scf = SelfConsistentSolver(built, transport, max_iterations=30)
+        cold = scf.run(v_gate=0.0, v_drain=0.05)
+        warm = scf.run(v_gate=0.0, v_drain=0.05, phi0=cold.phi)
+        assert warm.n_iterations <= cold.n_iterations
+
+    def test_flop_accounting_accumulates(self, fet):
+        built, transport = fet
+        scf = SelfConsistentSolver(built, transport, max_iterations=10)
+        out = scf.run(v_gate=0.0, v_drain=0.05)
+        single = transport.solve_bias(
+            np.zeros(built.n_atoms), 0.05
+        ).flops.total
+        assert out.flops.total > single
+
+    def test_invalid_mixing(self, fet):
+        built, transport = fet
+        with pytest.raises(ValueError):
+            SelfConsistentSolver(built, transport, mixing="broyden")
+
+    def test_drain_bias_depletes_channel(self, fet):
+        """Lowering mu_D empties the drain-injected half of the channel
+        population (the contacts themselves stay neutral by SCF)."""
+        built, _ = fet
+        transport = TransportCalculation(built, method="wf", n_energy=81)
+        scf = SelfConsistentSolver(built, transport)
+        eq = scf.run(v_gate=0.1, v_drain=0.0)
+        hi = scf.run(v_gate=0.1, v_drain=0.3)
+        assert eq.converged and hi.converged
+        slab = built.device.slab_of_atom()
+        mid = built.device.n_slabs // 2
+        n_eq = eq.transport.density_per_atom[slab == mid].mean()
+        n_hi = hi.transport.density_per_atom[slab == mid].mean()
+        assert n_hi < n_eq
+        # and the bias drives a current where equilibrium has none
+        assert abs(eq.transport.current_a) < 1e-12
+        assert hi.transport.current_a > 1e-8
+
+
+class TestIVSweep:
+    def test_transfer_curve_monotone(self, fet):
+        built, transport = fet
+        scf = SelfConsistentSolver(built, transport, max_iterations=40)
+        sweep = IVSweep(scf)
+        vgs = np.linspace(-0.4, 0.1, 5)
+        curve = sweep.transfer_curve(vgs, v_drain=0.05)
+        i = curve.currents()
+        assert np.all(np.diff(i) > 0)
+        assert curve.on_off_ratio() > 10
+        assert all(p.converged for p in curve.points)
+
+    def test_output_curve_saturates(self, fet):
+        built, _ = fet
+        # the density integral needs a fine grid in strong inversion to
+        # avoid resonance aliasing; 81 points over the window suffices
+        transport = TransportCalculation(built, method="wf", n_energy=81)
+        scf = SelfConsistentSolver(built, transport, max_iterations=60)
+        sweep = IVSweep(scf)
+        vds = np.array([0.02, 0.1, 0.2, 0.3])
+        curve = sweep.output_curve(v_gate=0.0, drain_voltages=vds)
+        i = curve.currents()
+        assert all(p.converged for p in curve.points)
+        # non-decreasing up to the SCF tolerance noise (~1% of I_on)
+        assert np.all(np.diff(i) > -0.02 * i.max())
+        # saturation: the last increment is much smaller than the first
+        g_first = (i[1] - i[0]) / (vds[1] - vds[0])
+        g_last = (i[3] - i[2]) / (vds[3] - vds[2])
+        assert g_last < 0.5 * g_first
+
+    def test_bias_work_items(self, fet):
+        built, transport = fet
+        sweep = IVSweep(SelfConsistentSolver(built, transport))
+        items = sweep.bias_work_items([0.0, 0.1], [0.05, 0.1, 0.2])
+        assert len(items) == 6
+
+    def test_empty_curve_ratio(self, fet):
+        from repro.core.iv import IVCurve
+
+        with pytest.raises(ValueError):
+            IVCurve().on_off_ratio()
+
+
+class TestSubthresholdSwing:
+    def test_ideal_thermal_limit(self):
+        """A perfectly gated thermionic barrier gives ~59.6 mV/dec at 300K."""
+        from repro.physics.constants import KT_ROOM
+
+        vg = np.linspace(-0.3, 0.0, 31)
+        i = np.exp(vg / KT_ROOM)  # perfect gate efficiency
+        ss = subthreshold_swing_mv_dec(vg, i)
+        assert ss == pytest.approx(59.5, abs=1.0)
+
+    def test_simulated_fet_above_thermal_limit(self, fet):
+        built, transport = fet
+        scf = SelfConsistentSolver(built, transport, max_iterations=40)
+        sweep = IVSweep(scf)
+        vgs = np.linspace(-0.45, -0.3, 6)
+        curve = sweep.transfer_curve(vgs, v_drain=0.05)
+        ss = subthreshold_swing_mv_dec(
+            curve.gate_voltages(), curve.currents(), method="fit"
+        )
+        assert ss > 55.0  # cannot beat Boltzmann (5% quadrature tolerance)
+        assert ss < 300.0  # but the gate must actually work
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subthreshold_swing_mv_dec(np.array([0.0, 0.1]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            subthreshold_swing_mv_dec(
+                np.array([0.0, 0.1, 0.2]), np.array([1.0, 0.0, 2.0])
+            )
+        with pytest.raises(ValueError):
+            subthreshold_swing_mv_dec(
+                np.array([0.0, 0.1, 0.2]), np.array([1.0, 1.0, 1.0])
+            )
+        with pytest.raises(ValueError):
+            subthreshold_swing_mv_dec(
+                np.array([0.0, 0.1, 0.2]), np.array([1.0, 2.0, 4.0]), method="avg"
+            )
+        # min-segment variant works on clean data
+        from repro.physics.constants import KT_ROOM
+        vg = np.linspace(-0.2, 0.0, 9)
+        ss = subthreshold_swing_mv_dec(vg, np.exp(vg / KT_ROOM), method="min")
+        assert ss == pytest.approx(59.5, abs=1.0)

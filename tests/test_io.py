@@ -1,0 +1,105 @@
+"""Tests for spec/result serialisation and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeviceSpec
+from repro.io import (
+    format_si,
+    format_table,
+    load_json,
+    load_spec,
+    result_to_dict,
+    save_json,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+class TestSpecRoundtrip:
+    def test_roundtrip_default(self):
+        spec = DeviceSpec()
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_roundtrip_custom(self):
+        spec = DeviceSpec(
+            name="nwfet",
+            n_x=20,
+            gate_cells=(8, 12),
+            material_params={"m_rel": 0.19},
+            donor_density_nm3=0.08,
+        )
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = DeviceSpec(name="filetest", n_x=18, gate_cells=(7, 10))
+        path = tmp_path / "spec.json"
+        save_spec(spec, path)
+        assert load_spec(path) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            spec_from_dict({"name": "x", "oxide_thickness": 1.0})
+
+    def test_gate_cells_becomes_tuple(self):
+        spec = spec_from_dict({"gate_cells": [2, 5], "n_x": 12})
+        assert spec.gate_cells == (2, 5)
+
+
+class TestResultSerialisation:
+    def test_arrays_to_lists(self):
+        out = result_to_dict({"x": np.arange(3), "y": 2.5})
+        assert out["x"] == [0, 1, 2]
+        assert out["y"] == 2.5
+
+    def test_complex_arrays(self):
+        out = result_to_dict({"g": np.array([1 + 2j])})
+        assert out["g"] == {"real": [1.0], "imag": [2.0]}
+
+    def test_numpy_scalars(self):
+        out = result_to_dict({"n": np.int64(4), "f": np.float64(0.5)})
+        assert out == {"n": 4, "f": 0.5}
+
+    def test_dataclass(self):
+        from repro.core.iv import IVPoint
+
+        p = IVPoint(v_gate=0.1, v_drain=0.2, current_a=1e-6,
+                    converged=True, n_iterations=5)
+        out = result_to_dict(p)
+        assert out["v_gate"] == 0.1
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            result_to_dict([1, 2, 3])
+
+    def test_json_file_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        save_json({"a": np.linspace(0, 1, 3), "nested": {"b": 2}}, path)
+        back = load_json(path)
+        assert back["nested"]["b"] == 2
+        assert back["a"] == [0.0, 0.5, 1.0]
+
+
+class TestFormatting:
+    def test_si_prefixes(self):
+        assert format_si(1.44e15, "Flop/s") == "1.44 PFlop/s"
+        assert format_si(2.5e-9, "A") == "2.5 nA"
+        assert format_si(0.0, "A") == "0 A"
+        assert format_si(3.2e3) == "3.2 k"
+
+    def test_si_tiny(self):
+        assert "f" in format_si(1e-16)
+
+    def test_table_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all(len(l) == len(lines[1]) for l in lines[2:])
+
+    def test_table_row_length_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

@@ -1,0 +1,196 @@
+"""Tests for device geometry builders, slab partitioning and passivation."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import (
+    ZincblendeCell,
+    build_neighbor_table,
+    count_dangling_per_atom,
+    find_dangling_bonds,
+    partition_into_slabs,
+    prune_undercoordinated,
+    rectangular_grid_device,
+    zincblende_nanowire,
+    zincblende_ultra_thin_body,
+)
+
+SI = ZincblendeCell(0.5431, "Si", "Si")
+
+
+class TestGridDevice:
+    def test_atom_count(self):
+        s = rectangular_grid_device(0.25, 4, 3, 2)
+        assert s.n_atoms == 24
+
+    def test_periodic_flag(self):
+        s = rectangular_grid_device(0.25, 4, 3, 2, periodic_y=True)
+        assert s.periodic_y == pytest.approx(0.75)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            rectangular_grid_device(0.0, 2, 2, 2)
+        with pytest.raises(ValueError):
+            rectangular_grid_device(0.25, 0, 2, 2)
+
+
+class TestNanowire:
+    def test_atoms_scale_with_length(self):
+        w2 = zincblende_nanowire(SI, 2, 1, 1, prune=False)
+        w4 = zincblende_nanowire(SI, 4, 1, 1, prune=False)
+        assert w4.n_atoms == 2 * w2.n_atoms
+
+    def test_unpruned_cell_count(self):
+        w = zincblende_nanowire(SI, 2, 1, 1, prune=False)
+        assert w.n_atoms == 2 * 8
+
+    def test_pruning_removes_adatoms(self):
+        """Pruned wires keep >= 2 bonds per atom in the infinite wire."""
+        w_raw = zincblende_nanowire(SI, 3, 1, 1, prune=False)
+        w = zincblende_nanowire(SI, 3, 1, 1, prune=True)
+        assert w.n_atoms < w_raw.n_atoms
+        # extend by one period on each side to emulate the infinite wire
+        ext = (
+            w.translated([-3 * SI.a_nm, 0, 0])
+            .merged_with(w)
+            .merged_with(w.translated([3 * SI.a_nm, 0, 0]))
+        )
+        table = build_neighbor_table(ext, SI.bond_length_nm)
+        coord = table.coordination(ext.n_atoms)[w.n_atoms : 2 * w.n_atoms]
+        assert coord.min() >= 2
+
+    def test_pruning_is_translation_invariant(self):
+        """Every slab of a pruned wire holds the same atom pattern."""
+        from repro.lattice import partition_into_slabs
+
+        w = zincblende_nanowire(SI, 3, 2, 2, prune=True)
+        dev = partition_into_slabs(w, SI.a_nm, SI.bond_length_nm)
+        assert dev.lead_is_periodic("left")
+        assert dev.lead_is_periodic("right")
+        assert dev.uniform_slab_size() * dev.n_slabs == w.n_atoms
+
+    def test_circle_smaller_than_square(self):
+        sq = zincblende_nanowire(SI, 2, 3, 3, shape="square")
+        ci = zincblende_nanowire(SI, 2, 3, 3, shape="circle")
+        assert ci.n_atoms < sq.n_atoms
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            zincblende_nanowire(SI, 2, 1, 1, shape="hex")
+
+    def test_too_small_raises(self):
+        # A wire that prunes to nothing must raise, not return empty.
+        with pytest.raises((ValueError, RuntimeError)):
+            prune_undercoordinated(
+                zincblende_nanowire(SI, 1, 1, 1, prune=False).select(
+                    [True] + [False] * 7
+                ),
+                SI.bond_length_nm,
+            )
+
+
+class TestUTB:
+    def test_periodicity_set(self):
+        f = zincblende_ultra_thin_body(SI, 2, 2)
+        assert f.periodic_y == pytest.approx(SI.a_nm)
+
+    def test_y_coordination_periodic(self):
+        f = zincblende_ultra_thin_body(SI, 3, 2)
+        table = build_neighbor_table(f, SI.bond_length_nm)
+        coord = table.coordination(f.n_atoms)
+        # interior atoms fully 4-coordinated thanks to y periodicity
+        mid = f.positions[:, 0].mean()
+        zmid = f.positions[:, 2].mean()
+        interior = np.flatnonzero(
+            (np.abs(f.positions[:, 0] - mid) < 0.3)
+            & (np.abs(f.positions[:, 2] - zmid) < 0.15)
+        )
+        assert interior.size > 0
+        assert all(coord[i] == 4 for i in interior)
+
+
+class TestSlabs:
+    def test_grid_slab_count(self):
+        s = rectangular_grid_device(0.25, 6, 2, 2)
+        dev = partition_into_slabs(s, 0.25, 0.25)
+        assert dev.n_slabs == 6
+        assert dev.uniform_slab_size() == 4
+
+    def test_wire_slab_count(self):
+        w = zincblende_nanowire(SI, 3, 1, 1, prune=False)
+        dev = partition_into_slabs(w, SI.a_nm, SI.bond_length_nm)
+        assert dev.n_slabs == 3
+        assert dev.uniform_slab_size() == 8
+
+    def test_block_tridiagonality_enforced(self):
+        # Slab pitch smaller than bond x-extent must raise.
+        w = zincblende_nanowire(SI, 3, 1, 1, prune=False)
+        with pytest.raises(ValueError):
+            partition_into_slabs(w, SI.a_nm / 8.0, SI.bond_length_nm)
+
+    def test_lead_periodicity(self):
+        w = zincblende_nanowire(SI, 3, 1, 1)
+        dev = partition_into_slabs(w, SI.a_nm, SI.bond_length_nm)
+        assert dev.lead_is_periodic("left")
+        assert dev.lead_is_periodic("right")
+
+    def test_canonical_order_identical_slabs(self):
+        w = zincblende_nanowire(SI, 4, 1, 1)
+        dev = partition_into_slabs(w, SI.a_nm, SI.bond_length_nm)
+        s0 = dev.slab_structure(0)
+        s1 = dev.slab_structure(1)
+        np.testing.assert_allclose(
+            s0.positions - s0.positions.min(axis=0),
+            s1.positions - s1.positions.min(axis=0),
+            atol=1e-9,
+        )
+        assert s0.species == s1.species
+
+    def test_slab_of_atom(self):
+        s = rectangular_grid_device(0.25, 4, 1, 1)
+        dev = partition_into_slabs(s, 0.25, 0.25)
+        np.testing.assert_array_equal(dev.slab_of_atom(), [0, 1, 2, 3])
+
+    def test_slab_indices_bounds(self):
+        s = rectangular_grid_device(0.25, 3, 1, 1)
+        dev = partition_into_slabs(s, 0.25, 0.25)
+        with pytest.raises(IndexError):
+            dev.slab_indices(5)
+
+    def test_single_slab_rejected(self):
+        s = rectangular_grid_device(0.25, 1, 2, 2)
+        with pytest.raises(ValueError):
+            partition_into_slabs(s, 0.25, 0.25)
+
+
+class TestDangling:
+    def test_bulk_interior_has_no_dangling(self):
+        w = zincblende_nanowire(SI, 3, 2, 2, prune=False)
+        table = build_neighbor_table(w, SI.bond_length_nm)
+        dangling = find_dangling_bonds(w, table)
+        per_atom = count_dangling_per_atom(w, dangling)
+        # the most-coordinated interior atom has zero dangling bonds
+        coord = table.coordination(w.n_atoms)
+        assert per_atom[coord.argmax()] == 0
+
+    def test_dangling_plus_coordination_is_four(self):
+        w = zincblende_nanowire(SI, 2, 2, 2)
+        table = build_neighbor_table(w, SI.bond_length_nm)
+        per_atom = count_dangling_per_atom(w, find_dangling_bonds(w, table))
+        coord = table.coordination(w.n_atoms)
+        np.testing.assert_array_equal(per_atom + coord, 4)
+
+    def test_directions_are_tetrahedral(self):
+        w = zincblende_nanowire(SI, 2, 1, 1)
+        table = build_neighbor_table(w, SI.bond_length_nm)
+        for db in find_dangling_bonds(w, table):
+            assert np.linalg.norm(db.direction) == pytest.approx(1.0)
+            # unit vectors along (+-1,+-1,+-1)/sqrt(3)
+            np.testing.assert_allclose(
+                np.abs(db.direction), 1.0 / np.sqrt(3.0), atol=1e-9
+            )
+
+    def test_grid_species_skipped(self):
+        s = rectangular_grid_device(0.25, 3, 3, 3)
+        table = build_neighbor_table(s, 0.25)
+        assert find_dangling_bonds(s, table) == []

@@ -1,0 +1,137 @@
+"""Tests for the linked-cell neighbour search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import AtomicStructure, build_neighbor_table
+from repro.lattice.neighbors import _brute_force
+
+
+def grid_structure(n, spacing=0.3, periodic_y=None):
+    xs, ys, zs = np.meshgrid(
+        np.arange(n), np.arange(n), np.arange(n), indexing="ij"
+    )
+    pos = spacing * np.stack([xs.ravel(), ys.ravel(), zs.ravel()], axis=1)
+    return AtomicStructure(
+        pos.astype(float), ["X"] * pos.shape[0], periodic_y=periodic_y
+    )
+
+
+class TestNeighborTable:
+    def test_cubic_grid_interior_coordination(self):
+        s = grid_structure(4)
+        table = build_neighbor_table(s, 0.3)
+        coord = table.coordination(s.n_atoms)
+        # Interior atoms of a 4^3 grid: 6 neighbours.
+        interior = [
+            i
+            for i in range(s.n_atoms)
+            if np.all(s.positions[i] > 0.15) and np.all(s.positions[i] < 0.75)
+        ]
+        assert len(interior) == 8
+        assert all(coord[i] == 6 for i in interior)
+
+    def test_corner_coordination(self):
+        s = grid_structure(3)
+        table = build_neighbor_table(s, 0.3)
+        coord = table.coordination(s.n_atoms)
+        corner = np.flatnonzero(
+            np.all(s.positions == 0.0, axis=1)
+        )[0]
+        assert coord[corner] == 3
+
+    def test_directed_bonds_symmetric(self):
+        s = grid_structure(3)
+        table = build_neighbor_table(s, 0.3)
+        pairs = set(zip(table.i.tolist(), table.j.tolist()))
+        for i, j in pairs:
+            assert (j, i) in pairs
+
+    def test_displacement_antisymmetric(self):
+        s = grid_structure(3)
+        table = build_neighbor_table(s, 0.3)
+        lookup = {}
+        for b in range(table.n_bonds):
+            lookup[(table.i[b], table.j[b], table.wrap_y[b])] = table.displacement[b]
+        for (i, j, w), d in lookup.items():
+            np.testing.assert_allclose(lookup[(j, i, -w)], -d, atol=1e-12)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(42)
+        pos = rng.uniform(0, 2.0, size=(60, 3))
+        s = AtomicStructure(pos, ["X"] * 60)
+        fast = build_neighbor_table(s, 0.45)
+        slow = _brute_force(s, (0.45 * (1 + 1e-3)) ** 2)
+        assert fast.n_bonds == slow.n_bonds
+        fast_set = set(zip(fast.i.tolist(), fast.j.tolist()))
+        slow_set = set(zip(slow.i.tolist(), slow.j.tolist()))
+        assert fast_set == slow_set
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_brute_force_random(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 40))
+        pos = rng.uniform(0, 1.5, size=(n, 3))
+        s = AtomicStructure(pos, ["X"] * n)
+        cutoff = float(rng.uniform(0.2, 0.6))
+        fast = build_neighbor_table(s, cutoff)
+        slow = _brute_force(s, (cutoff * (1 + 1e-3)) ** 2)
+        fast_set = set(zip(fast.i.tolist(), fast.j.tolist()))
+        slow_set = set(zip(slow.i.tolist(), slow.j.tolist()))
+        assert fast_set == slow_set
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            build_neighbor_table(grid_structure(2), 0.0)
+
+
+class TestPeriodicY:
+    def test_periodic_wrap_bonds(self):
+        # 1 x 2 x 1 chain of spacing 0.3, periodic in y with period 0.6:
+        # each atom gets its +y and -y neighbour (one direct, one wrapped).
+        pos = np.array([[0.0, 0.0, 0.0], [0.0, 0.3, 0.0]])
+        s = AtomicStructure(pos, ["X", "X"], periodic_y=0.6)
+        table = build_neighbor_table(s, 0.3)
+        coord = table.coordination(2)
+        assert coord[0] == 2  # neighbour at +0.3 and wrapped at -0.3
+        assert np.any(table.wrap_y != 0)
+
+    def test_wrap_displacement_length(self):
+        pos = np.array([[0.0, 0.0, 0.0], [0.0, 0.3, 0.0]])
+        s = AtomicStructure(pos, ["X", "X"], periodic_y=0.6)
+        table = build_neighbor_table(s, 0.3)
+        norms = np.linalg.norm(table.displacement, axis=1)
+        np.testing.assert_allclose(norms, 0.3, atol=1e-9)
+
+    def test_periodic_film_coordination(self):
+        # 3x2x3 grid periodic in y: all interior-x/z atoms have y-coordination 2.
+        s = grid_structure(3, periodic_y=None)
+        # make a film periodic in y with 2 cells
+        xs, ys, zs = np.meshgrid(np.arange(3), np.arange(2), np.arange(3), indexing="ij")
+        pos = 0.3 * np.stack([xs.ravel(), ys.ravel(), zs.ravel()], axis=1)
+        film = AtomicStructure(pos.astype(float), ["X"] * 18, periodic_y=0.6)
+        table = build_neighbor_table(film, 0.3)
+        coord = table.coordination(18)
+        center = np.flatnonzero(
+            (pos[:, 0] == 0.3) & (pos[:, 2] == 0.3)
+        )
+        for c in center:
+            assert coord[c] == 6  # 2x + 2y(periodic) + 2z
+
+    def test_no_duplicate_bonds(self):
+        xs, ys, zs = np.meshgrid(np.arange(2), np.arange(3), np.arange(2), indexing="ij")
+        pos = 0.25 * np.stack([xs.ravel(), ys.ravel(), zs.ravel()], axis=1)
+        film = AtomicStructure(pos.astype(float), ["X"] * 12, periodic_y=0.75)
+        table = build_neighbor_table(film, 0.25)
+        keys = list(
+            zip(
+                table.i.tolist(),
+                table.j.tolist(),
+                table.wrap_y.tolist(),
+                [tuple(np.round(d, 6)) for d in table.displacement],
+            )
+        )
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,162 @@
+"""Tests for repro.lattice.structure and zincblende geometry."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import (
+    AtomicStructure,
+    TETRAHEDRAL_BONDS,
+    ZincblendeCell,
+    bond_length,
+    conventional_cell,
+    high_symmetry_points,
+    primitive_cell_info,
+)
+
+
+def simple_structure():
+    return AtomicStructure(
+        positions=np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [2.0, 1.0, 0.5]]),
+        species=["Si", "Si", "Ge"],
+    )
+
+
+class TestAtomicStructure:
+    def test_basic_properties(self):
+        s = simple_structure()
+        assert s.n_atoms == 3
+        assert s.unique_species() == ["Ge", "Si"]
+        np.testing.assert_allclose(s.extent(), [2.0, 1.0, 0.5])
+
+    def test_species_count_mismatch(self):
+        with pytest.raises(ValueError):
+            AtomicStructure(np.zeros((2, 3)), ["Si"])
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            AtomicStructure(np.zeros((2, 2)), ["Si", "Si"])
+
+    def test_select(self):
+        s = simple_structure()
+        sub = s.select([True, False, True])
+        assert sub.n_atoms == 2
+        assert sub.species == ["Si", "Ge"]
+
+    def test_select_bad_mask(self):
+        with pytest.raises(ValueError):
+            simple_structure().select([True])
+
+    def test_take_reorders(self):
+        s = simple_structure()
+        r = s.take([2, 0, 1])
+        assert r.species == ["Ge", "Si", "Si"]
+        np.testing.assert_allclose(r.positions[0], [2.0, 1.0, 0.5])
+
+    def test_translated(self):
+        s = simple_structure().translated([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(s.positions[0], [1.0, 2.0, 3.0])
+
+    def test_translated_bad_shift(self):
+        with pytest.raises(ValueError):
+            simple_structure().translated([1.0, 2.0])
+
+    def test_merge(self):
+        s = simple_structure()
+        m = s.merged_with(s.translated([10, 0, 0]))
+        assert m.n_atoms == 6
+
+    def test_merge_periodicity_mismatch(self):
+        s = simple_structure()
+        p = AtomicStructure(s.positions, s.species, periodic_y=1.0)
+        with pytest.raises(ValueError):
+            s.merged_with(p)
+
+    def test_invalid_periodicity(self):
+        with pytest.raises(ValueError):
+            AtomicStructure(np.zeros((1, 3)), ["Si"], periodic_y=-1.0)
+
+    def test_default_sublattice(self):
+        s = simple_structure()
+        np.testing.assert_array_equal(s.sublattice, [0, 0, 0])
+
+
+class TestZincblendeCell:
+    def test_bond_length(self):
+        a = 0.5431
+        assert bond_length(a) == pytest.approx(a * np.sqrt(3) / 4)
+
+    def test_bond_length_invalid(self):
+        with pytest.raises(ValueError):
+            bond_length(-1.0)
+
+    def test_cell_invalid(self):
+        with pytest.raises(ValueError):
+            ZincblendeCell(a_nm=0.0, anion="Si", cation="Si")
+
+    def test_conventional_cell_has_8_atoms(self):
+        cell = ZincblendeCell(0.5431, "Si", "Si")
+        s = conventional_cell(cell)
+        assert s.n_atoms == 8
+        assert np.sum(s.sublattice == 0) == 4
+        assert np.sum(s.sublattice == 1) == 4
+
+    def test_conventional_cell_species(self):
+        cell = ZincblendeCell(0.5653, "As", "Ga")
+        s = conventional_cell(cell)
+        assert s.species.count("As") == 4
+        assert s.species.count("Ga") == 4
+
+    def test_tetrahedral_bond_lengths(self):
+        cell = ZincblendeCell(0.5431, "Si", "Si")
+        for v in cell.bond_vectors_from_anion():
+            assert np.linalg.norm(v) == pytest.approx(cell.bond_length_nm)
+
+    def test_tetrahedral_angles(self):
+        # All bond pairs make the tetrahedral angle arccos(-1/3).
+        b = TETRAHEDRAL_BONDS / np.linalg.norm(TETRAHEDRAL_BONDS[0])
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert b[i] @ b[j] == pytest.approx(-1.0 / 3.0)
+
+    def test_every_anion_has_4_cation_neighbors_in_bulk(self):
+        # 3x3x3 conventional cells: interior anion coordination is exactly 4.
+        from repro.lattice import build_neighbor_table, replicate
+
+        cell = ZincblendeCell(0.5431, "Si", "Si")
+        s = replicate(conventional_cell(cell), 3, 3, 3, [cell.a_nm] * 3)
+        table = build_neighbor_table(s, cell.bond_length_nm)
+        coord = table.coordination(s.n_atoms)
+        center = np.linalg.norm(
+            s.positions - 1.5 * cell.a_nm * np.ones(3), axis=1
+        ).argmin()
+        assert coord[center] == 4
+
+
+class TestPrimitiveCell:
+    def test_reciprocal_orthogonality(self):
+        cell = ZincblendeCell(0.5431, "Si", "Si")
+        info = primitive_cell_info(cell)
+        prod = info["lattice_vectors"] @ info["reciprocal_vectors"].T
+        np.testing.assert_allclose(prod, 2 * np.pi * np.eye(3), atol=1e-12)
+
+    def test_cell_volume(self):
+        a = 0.5431
+        cell = ZincblendeCell(a, "Si", "Si")
+        info = primitive_cell_info(cell)
+        vol = abs(np.linalg.det(info["lattice_vectors"]))
+        assert vol == pytest.approx(a**3 / 4.0)
+
+    def test_neighbor_vectors_connect_sublattices(self):
+        cell = ZincblendeCell(0.5431, "Si", "Si")
+        info = primitive_cell_info(cell)
+        for v in info["neighbor_vectors"]:
+            assert np.linalg.norm(v) == pytest.approx(cell.bond_length_nm)
+
+    def test_high_symmetry_points(self):
+        a = 0.5431
+        pts = high_symmetry_points(a)
+        np.testing.assert_allclose(pts["Gamma"], 0.0)
+        assert np.linalg.norm(pts["X"]) == pytest.approx(2 * np.pi / a)
+        assert np.linalg.norm(pts["L"]) == pytest.approx(
+            np.sqrt(3) * np.pi / a
+        )

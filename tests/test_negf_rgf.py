@@ -1,0 +1,207 @@
+"""RGF kernel tests: analytic chain oracle, dense-inversion oracle, identities."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import partition_into_slabs, rectangular_grid_device
+from repro.negf import (
+    RGFSolver,
+    dense_observables,
+    dense_transmission,
+    landauer_current,
+    carrier_density,
+    orbital_to_atom,
+)
+from repro.physics.grids import uniform_grid
+from repro.tb import BlockTridiagonalHamiltonian, build_device_hamiltonian
+from repro.tb.chain import chain_blocks, square_barrier_transmission
+from repro.tb import single_band_material
+
+
+def chain_hamiltonian(n=8, e0=0.0, t=1.0, potential=None):
+    diag, up = chain_blocks(n, e0, t, potential)
+    return BlockTridiagonalHamiltonian(diag, up)
+
+
+class TestChainTransmission:
+    @pytest.mark.parametrize("energy", [-1.5, -0.4, 0.3, 1.1, 1.8])
+    def test_clean_chain_unit_transmission(self, energy):
+        H = chain_hamiltonian(6)
+        solver = RGFSolver(H)
+        assert solver.transmission(energy) == pytest.approx(1.0, abs=1e-4)
+
+    @pytest.mark.parametrize("energy", [-3.0, 2.4, 10.0])
+    def test_outside_band_zero(self, energy):
+        H = chain_hamiltonian(6)
+        solver = RGFSolver(H)
+        assert solver.transmission(energy) == pytest.approx(0.0, abs=1e-4)
+
+    @pytest.mark.parametrize("energy", [-1.2, -0.3, 0.5, 1.4])
+    def test_square_barrier_matches_transfer_matrix(self, energy):
+        n, nb, vb = 12, 4, 0.8
+        pot = np.zeros(n)
+        pot[4 : 4 + nb] = vb
+        H = chain_hamiltonian(n, potential=pot)
+        solver = RGFSolver(H, eta=1e-9)
+        exact = square_barrier_transmission(energy, 0.0, 1.0, vb, nb)
+        assert solver.transmission(energy) == pytest.approx(exact, abs=1e-5)
+
+    def test_barrier_transmission_below_one(self):
+        pot = np.zeros(10)
+        pot[3:6] = 1.5
+        H = chain_hamiltonian(10, potential=pot)
+        solver = RGFSolver(H)
+        t = solver.transmission(0.2)
+        assert 0.0 < t < 0.9
+
+    def test_resonant_double_barrier_peak(self):
+        """Double barrier shows a resonance with T near 1 inside the well."""
+        pot = np.zeros(15)
+        pot[4] = pot[10] = 2.0
+        H = chain_hamiltonian(15, potential=pot)
+        solver = RGFSolver(H, eta=1e-10)
+        energies = np.linspace(-1.9, -1.0, 300)
+        ts = [solver.transmission(e) for e in energies]
+        assert max(ts) > 0.9  # resonance
+        assert min(ts) < 0.1  # off resonance
+
+
+class TestAgainstDense:
+    def make_grid_system(self, seed=0):
+        rng = np.random.default_rng(seed)
+        mat = single_band_material(m_rel=0.3, spacing_nm=0.3)
+        s = rectangular_grid_device(0.3, 6, 2, 2)
+        dev = partition_into_slabs(s, 0.3, 0.3)
+        pot = np.zeros(s.n_atoms)
+        # a smooth barrier in the middle slabs
+        slab = dev.slab_of_atom()
+        pot[(slab >= 2) & (slab <= 3)] = 0.15
+        H = build_device_hamiltonian(dev, mat, potential=pot)
+        return H
+
+    def test_transmission_matches_dense(self):
+        H = self.make_grid_system()
+        solver = RGFSolver(H)
+        lead_l = (H.diagonal[0], H.upper[0])
+        lead_r = (H.diagonal[-1], H.upper[-1])
+        for e in (0.45, 0.6, 0.9):
+            t_rgf = solver.transmission(e)
+            t_dense = dense_transmission(H, e, lead_l, lead_r)
+            assert t_rgf == pytest.approx(t_dense, rel=1e-8), e
+
+    def test_full_solve_matches_dense(self):
+        H = self.make_grid_system()
+        solver = RGFSolver(H)
+        lead_l = (H.diagonal[0], H.upper[0])
+        lead_r = (H.diagonal[-1], H.upper[-1])
+        e = 0.62
+        res = solver.solve(e)
+        ref = dense_observables(H, e, lead_l, lead_r)
+        assert res.transmission == pytest.approx(ref["transmission"], rel=1e-8)
+        np.testing.assert_allclose(res.dos, ref["dos"], atol=1e-8)
+        np.testing.assert_allclose(
+            res.spectral_left, ref["spectral_left"], atol=1e-8
+        )
+        np.testing.assert_allclose(
+            res.spectral_right, ref["spectral_right"], atol=1e-8
+        )
+
+    def test_spectral_identity(self):
+        """A_L + A_R = i(G - G^+) in the coherent ballistic limit."""
+        H = self.make_grid_system()
+        lead_l = (H.diagonal[0], H.upper[0])
+        lead_r = (H.diagonal[-1], H.upper[-1])
+        ref = dense_observables(H, 0.7, lead_l, lead_r, eta=1e-9)
+        scale = np.linalg.norm(ref["green_function"])
+        assert ref["identity_defect"] / scale < 1e-5
+
+    def test_dos_equals_spectral_sum(self):
+        H = self.make_grid_system()
+        solver = RGFSolver(H, eta=1e-9)
+        res = solver.solve(0.55)
+        np.testing.assert_allclose(
+            res.dos, 2 * (res.spectral_left + res.spectral_right), rtol=1e-4,
+            atol=1e-9,
+        )
+        # factor 2: dos = -Im G/pi = (A_L + A_R)/(2 pi) * 2pi/(pi) ... the
+        # identity is A_L + A_R = -2 Im G, i.e. dos = 2*(sL + sR).
+
+    def test_reciprocity(self):
+        """T_LR = T_RL: swap leads by reversing the device."""
+        H = self.make_grid_system()
+        # reversed device
+        diag_r = [d.copy() for d in reversed(H.diagonal)]
+        upper_r = [u.conj().T.copy() for u in reversed(H.upper)]
+        H_rev = BlockTridiagonalHamiltonian(diag_r, upper_r)
+        s1 = RGFSolver(H)
+        s2 = RGFSolver(H_rev)
+        for e in (0.5, 0.8):
+            assert s1.transmission(e) == pytest.approx(
+                s2.transmission(e), rel=1e-6
+            )
+
+    def test_channel_count_bounds_transmission(self):
+        H = self.make_grid_system()
+        solver = RGFSolver(H)
+        for e in (0.5, 0.7, 1.0):
+            res = solver.solve(e)
+            assert res.transmission <= min(
+                res.n_channels_left, res.n_channels_right
+            ) + 1e-6
+
+    def test_needs_two_slabs(self):
+        d = [np.zeros((2, 2), dtype=complex)]
+        with pytest.raises(ValueError):
+            RGFSolver(BlockTridiagonalHamiltonian(d, []))
+
+
+class TestObservables:
+    def test_landauer_zero_bias(self):
+        g = uniform_grid(-1.0, 1.0, 51)
+        t = np.ones(51)
+        assert landauer_current(g, t, 0.0, 0.0, 0.025) == 0.0
+
+    def test_landauer_linear_response(self):
+        """Unit transmission, small bias: I = G0 * V."""
+        from repro.physics.constants import G0_SIEMENS
+
+        v = 1e-3
+        g = uniform_grid(-0.5, 0.5, 4001)
+        t = np.ones(len(g))
+        i = landauer_current(g, t, v / 2, -v / 2, 0.020)
+        assert i == pytest.approx(G0_SIEMENS * v, rel=1e-4)
+
+    def test_landauer_sign(self):
+        g = uniform_grid(-0.5, 0.5, 101)
+        t = np.ones(101)
+        assert landauer_current(g, t, 0.1, -0.1, 0.02) > 0
+        assert landauer_current(g, t, -0.1, 0.1, 0.02) < 0
+
+    def test_spin_degeneracy_factor(self):
+        g = uniform_grid(-0.5, 0.5, 101)
+        t = np.ones(101)
+        i2 = landauer_current(g, t, 0.1, -0.1, 0.02, spin_degeneracy=2)
+        i1 = landauer_current(g, t, 0.1, -0.1, 0.02, spin_degeneracy=1)
+        assert i2 == pytest.approx(2 * i1)
+
+    def test_carrier_density_shape_and_occupation(self):
+        g = uniform_grid(0.0, 1.0, 21)
+        sl = np.ones((21, 6)) * 0.1
+        sr = np.ones((21, 6)) * 0.2
+        # mu very high: both fully occupied
+        n = carrier_density(g, sl, sr, 10.0, 10.0, 0.02)
+        np.testing.assert_allclose(n, 2 * (0.1 + 0.2) * 1.0, rtol=1e-6)
+
+    def test_carrier_density_shape_mismatch(self):
+        g = uniform_grid(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            carrier_density(g, np.ones((5, 3)), np.ones((5, 4)), 0, 0, 0.02)
+
+    def test_orbital_to_atom(self):
+        per_orb = np.arange(12.0)
+        per_atom = orbital_to_atom(per_orb, 4)
+        np.testing.assert_allclose(per_atom, [6.0, 22.0, 38.0])
+
+    def test_orbital_to_atom_bad_divisor(self):
+        with pytest.raises(ValueError):
+            orbital_to_atom(np.ones(10), 4)

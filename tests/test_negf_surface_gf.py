@@ -1,0 +1,186 @@
+"""Surface GF and self-energy tests against the analytic chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.negf import (
+    contact_self_energy,
+    eigen_surface_gf,
+    lead_modes,
+    sancho_rubio,
+)
+from repro.tb.chain import chain_band_edges, chain_self_energy, chain_surface_gf
+
+
+def chain_lead(e0=0.0, t=1.0):
+    return np.array([[e0]], dtype=complex), np.array([[-t]], dtype=complex)
+
+
+class TestSanchoRubio:
+    @pytest.mark.parametrize("energy", [-1.5, -0.5, 0.0, 0.7, 1.9])
+    def test_chain_in_band(self, energy):
+        h00, h01 = chain_lead()
+        g, _ = sancho_rubio(energy, h00, h01, side="left", eta=1e-6)
+        exact = chain_surface_gf(energy + 1e-6j, 0.0, 1.0)
+        assert g[0, 0] == pytest.approx(exact, rel=1e-3)
+
+    @pytest.mark.parametrize("energy", [-3.0, 2.5, 5.0])
+    def test_chain_outside_band(self, energy):
+        h00, h01 = chain_lead()
+        g, _ = sancho_rubio(energy, h00, h01, side="left", eta=1e-6)
+        exact = chain_surface_gf(energy + 1e-6j, 0.0, 1.0)
+        assert g[0, 0] == pytest.approx(exact, rel=1e-3)
+        assert abs(g[0, 0].imag) < 1e-6  # no DOS outside the band
+
+    def test_left_right_symmetric_chain(self):
+        h00, h01 = chain_lead()
+        gl, _ = sancho_rubio(0.3, h00, h01, side="left")
+        gr, _ = sancho_rubio(0.3, h00, h01, side="right")
+        assert gl[0, 0] == pytest.approx(gr[0, 0], rel=1e-10)
+
+    def test_retarded_sign(self):
+        h00, h01 = chain_lead()
+        g, _ = sancho_rubio(0.0, h00, h01, eta=1e-9)
+        assert g[0, 0].imag < 0
+
+    def test_converges_fast(self):
+        h00, h01 = chain_lead()
+        _, it = sancho_rubio(0.4, h00, h01, eta=1e-6)
+        assert it < 40  # quadratic convergence
+
+    def test_invalid_side(self):
+        h00, h01 = chain_lead()
+        with pytest.raises(ValueError):
+            sancho_rubio(0.0, h00, h01, side="top")
+
+    def test_invalid_eta(self):
+        h00, h01 = chain_lead()
+        with pytest.raises(ValueError):
+            sancho_rubio(0.0, h00, h01, eta=0.0)
+
+    @given(
+        energy=st.floats(-1.9, 1.9),
+        t=st.floats(0.5, 2.0),
+        e0=st.floats(-1.0, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_chain_analytic_property(self, energy, t, e0):
+        lo, hi = chain_band_edges(e0, t)
+        E = e0 + energy * t  # always inside or near the band
+        h00 = np.array([[e0]], dtype=complex)
+        h01 = np.array([[-t]], dtype=complex)
+        g, _ = sancho_rubio(E, h00, h01, eta=1e-6)
+        exact = chain_surface_gf(E + 1e-6j, e0, t)
+        assert g[0, 0] == pytest.approx(exact, rel=1e-3, abs=1e-6)
+
+    def test_dimer_lead_hermitian_gamma(self):
+        # two-site cell with alternating hoppings
+        h00 = np.array([[0.0, -1.0], [-1.0, 0.0]], dtype=complex)
+        h01 = np.array([[0.0, 0.0], [-0.5, 0.0]], dtype=complex)
+        g, _ = sancho_rubio(0.2, h00, h01, side="left", eta=1e-8)
+        sigma = h01.conj().T @ g @ h01
+        gamma = 1j * (sigma - sigma.conj().T)
+        np.testing.assert_allclose(gamma, gamma.conj().T, atol=1e-12)
+        assert np.linalg.eigvalsh(gamma).min() > -1e-10  # PSD
+
+
+class TestEigenSurfaceGF:
+    @pytest.mark.parametrize("energy", [-1.2, 0.0, 0.8, 1.7])
+    def test_matches_sancho_chain(self, energy):
+        h00, h01 = chain_lead()
+        ge = eigen_surface_gf(energy, h00, h01, side="left", eta=1e-6)
+        gs, _ = sancho_rubio(energy, h00, h01, side="left", eta=1e-6)
+        assert ge[0, 0] == pytest.approx(gs[0, 0], rel=1e-3)
+
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_matches_sancho_dimer(self, side):
+        h00 = np.array([[0.1, -1.0], [-1.0, 0.1]], dtype=complex)
+        h01 = np.array([[0.0, 0.0], [-0.6, 0.0]], dtype=complex)
+        for energy in (-1.4, 0.1, 1.1):
+            ge = eigen_surface_gf(energy, h00, h01, side=side, eta=1e-7)
+            gs, _ = sancho_rubio(energy, h00, h01, side=side, eta=1e-7)
+            np.testing.assert_allclose(ge, gs, atol=1e-4)
+
+    def test_invalid_side(self):
+        h00, h01 = chain_lead()
+        with pytest.raises(ValueError):
+            eigen_surface_gf(0.0, h00, h01, side="up")
+
+
+class TestLeadModes:
+    def test_chain_in_band_one_propagating(self):
+        h00, h01 = chain_lead()
+        modes = lead_modes(0.5, h00, h01, direction="right")
+        assert modes.n_propagating == 1
+        assert abs(abs(modes.lambdas[0]) - 1.0) < 1e-6
+
+    def test_chain_outside_band_evanescent(self):
+        h00, h01 = chain_lead()
+        modes = lead_modes(3.0, h00, h01, direction="right")
+        assert modes.n_propagating == 0
+        assert abs(modes.lambdas[0]) < 1.0
+
+    def test_chain_bloch_factor(self):
+        # E = -2t cos(ka): at E=0, ka = pi/2, lambda = e^{i pi/2} = i.
+        h00, h01 = chain_lead(t=1.0)
+        modes = lead_modes(0.0, h00, h01, direction="right")
+        assert modes.lambdas[0] == pytest.approx(1j, abs=1e-4)
+
+    def test_left_right_mode_count(self):
+        h00 = np.array([[0.0, -1.0], [-1.0, 0.0]], dtype=complex)
+        h01 = np.array([[0.0, 0.0], [-0.6, 0.0]], dtype=complex)
+        left = lead_modes(0.2, h00, h01, direction="left")
+        right = lead_modes(0.2, h00, h01, direction="right")
+        assert left.lambdas.size == 2
+        assert right.lambdas.size == 2
+        assert left.n_propagating == right.n_propagating
+
+    def test_invalid_direction(self):
+        h00, h01 = chain_lead()
+        with pytest.raises(ValueError):
+            lead_modes(0.0, h00, h01, direction="up")
+
+
+class TestSelfEnergy:
+    @pytest.mark.parametrize("energy", [-1.0, 0.0, 1.2])
+    def test_chain_analytic(self, energy):
+        h00, h01 = chain_lead()
+        se = contact_self_energy(energy, h00, h01, side="left", eta=1e-6)
+        exact = chain_self_energy(energy + 1e-6j, 0.0, 1.0)
+        assert se.sigma[0, 0] == pytest.approx(exact, rel=1e-3)
+
+    def test_gamma_hermitian_psd(self):
+        h00, h01 = chain_lead()
+        se = contact_self_energy(0.4, h00, h01, side="left")
+        gam = se.gamma
+        np.testing.assert_allclose(gam, gam.conj().T, atol=1e-14)
+        assert np.all(np.linalg.eigvalsh(gam) >= -1e-12)
+
+    def test_open_channels_chain(self):
+        h00, h01 = chain_lead()
+        se_in = contact_self_energy(0.0, h00, h01, side="left")
+        se_out = contact_self_energy(5.0, h00, h01, side="left")
+        assert se_in.n_open_channels() == 1
+        assert se_out.n_open_channels() == 0
+
+    def test_injection_vectors_reconstruct_gamma(self):
+        h00 = np.array([[0.0, -1.0], [-1.0, 0.0]], dtype=complex)
+        h01 = np.array([[0.0, 0.0], [-0.9, 0.0]], dtype=complex)
+        se = contact_self_energy(0.3, h00, h01, side="left")
+        W = se.injection_vectors()
+        np.testing.assert_allclose(W @ W.conj().T, se.gamma, atol=1e-10)
+
+    def test_eigen_method_agrees(self):
+        h00, h01 = chain_lead()
+        s1 = contact_self_energy(0.5, h00, h01, side="right", method="sancho")
+        s2 = contact_self_energy(
+            0.5, h00, h01, side="right", method="eigen", eta=1e-6
+        )
+        np.testing.assert_allclose(s1.sigma, s2.sigma, atol=1e-5)
+
+    def test_invalid_method(self):
+        h00, h01 = chain_lead()
+        with pytest.raises(ValueError):
+            contact_self_energy(0.0, h00, h01, method="magic")

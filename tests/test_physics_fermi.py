@@ -1,0 +1,173 @@
+"""Tests for repro.physics.fermi."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.fermi import (
+    dfermi_dE,
+    fermi_dirac,
+    fermi_integral_half,
+    fermi_integral_minus_half,
+    fermi_integral_zero,
+    fermi_window,
+    inverse_fermi_integral_half,
+)
+
+
+class TestFermiDirac:
+    def test_at_mu(self):
+        assert fermi_dirac(0.5, 0.5, 0.025) == pytest.approx(0.5)
+
+    def test_limits(self):
+        assert fermi_dirac(-10.0, 0.0, 0.025) == pytest.approx(1.0)
+        assert fermi_dirac(10.0, 0.0, 0.025) == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_overflow_large_arguments(self):
+        # +-1e6 kT away must not warn or produce NaN.
+        with np.errstate(over="raise"):
+            lo = fermi_dirac(-1e4, 0.0, 0.01)
+            hi = fermi_dirac(1e4, 0.0, 0.01)
+        assert lo == 1.0 and hi == 0.0
+
+    def test_zero_temperature_step(self):
+        e = np.array([-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(fermi_dirac(e, 0.0, 0.0), [1.0, 0.5, 0.0])
+
+    def test_negative_kT_raises(self):
+        with pytest.raises(ValueError):
+            fermi_dirac(0.0, 0.0, -0.01)
+
+    @given(
+        e=st.floats(-5, 5),
+        mu=st.floats(-2, 2),
+        kT=st.floats(1e-4, 0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_and_symmetry(self, e, mu, kT):
+        f = float(fermi_dirac(e, mu, kT))
+        assert 0.0 <= f <= 1.0
+        # particle-hole symmetry f(mu+x) + f(mu-x) = 1
+        x = e - mu
+        f2 = float(fermi_dirac(mu - x, mu, kT))
+        assert f + f2 == pytest.approx(1.0, abs=1e-12)
+
+    @given(kT=st.floats(1e-3, 0.3))
+    @settings(max_examples=25, deadline=None)
+    def test_monotonic_decreasing(self, kT):
+        e = np.linspace(-1, 1, 101)
+        f = fermi_dirac(e, 0.0, kT)
+        assert np.all(np.diff(f) <= 0)
+
+
+class TestDFermi:
+    def test_integrates_to_minus_one(self):
+        kT = 0.0259
+        e = np.linspace(-1.0, 1.0, 20001)
+        val = np.trapezoid(dfermi_dE(e, 0.0, kT), e)
+        assert val == pytest.approx(-1.0, abs=1e-6)
+
+    def test_peak_at_mu(self):
+        kT = 0.05
+        assert dfermi_dE(0.3, 0.3, kT) == pytest.approx(-1.0 / (4.0 * kT))
+
+    def test_matches_numerical_derivative(self):
+        kT, mu = 0.03, 0.1
+        e = 0.12
+        h = 1e-6
+        num = (fermi_dirac(e + h, mu, kT) - fermi_dirac(e - h, mu, kT)) / (2 * h)
+        assert dfermi_dE(e, mu, kT) == pytest.approx(float(num), rel=1e-5)
+
+    def test_requires_positive_kT(self):
+        with pytest.raises(ValueError):
+            dfermi_dE(0.0, 0.0, 0.0)
+
+
+class TestFermiWindow:
+    def test_sign(self):
+        # muL > muR: window positive between them.
+        assert fermi_window(0.0, 0.1, -0.1, 0.01) > 0
+
+    def test_zero_bias(self):
+        e = np.linspace(-1, 1, 11)
+        np.testing.assert_allclose(fermi_window(e, 0.0, 0.0, 0.025), 0.0)
+
+    def test_integral_equals_bias(self):
+        # int (fL - fR) dE = muL - muR for a window fully inside the range.
+        muL, muR, kT = 0.2, -0.2, 0.02
+        e = np.linspace(-2, 2, 40001)
+        val = np.trapezoid(fermi_window(e, muL, muR, kT), e)
+        assert val == pytest.approx(muL - muR, rel=1e-6)
+
+
+class TestFermiIntegrals:
+    def test_f_half_nondegenerate_limit(self):
+        # F_1/2(eta) -> e^eta for eta << 0.
+        for eta in (-10.0, -6.0):
+            assert float(fermi_integral_half(eta)) == pytest.approx(
+                np.exp(eta), rel=2e-2
+            )
+
+    def test_f_half_degenerate_limit(self):
+        eta = 40.0
+        expected = 4.0 / (3.0 * np.sqrt(np.pi)) * eta**1.5
+        assert float(fermi_integral_half(eta)) == pytest.approx(expected, rel=1e-2)
+
+    def test_f_half_against_quadrature(self):
+        from scipy.integrate import quad
+        from scipy.special import gamma
+
+        for eta in (-2.0, 0.0, 1.0, 5.0, 15.0):
+            val, _ = quad(
+                lambda x: np.sqrt(x) / (1.0 + np.exp(x - eta)), 0, 200, limit=200
+            )
+            exact = val / gamma(1.5)
+            assert float(fermi_integral_half(eta)) == pytest.approx(
+                exact, rel=5e-3
+            ), eta
+
+    def test_f_zero_closed_form(self):
+        eta = np.array([-5.0, 0.0, 3.0])
+        np.testing.assert_allclose(
+            fermi_integral_zero(eta), np.log1p(np.exp(eta)), rtol=1e-12
+        )
+
+    def test_f_minus_half_is_derivative(self):
+        h = 1e-5
+        for eta in (-9.0, -3.0, 0.0, 2.0, 10.0, 30.0):
+            num = (
+                float(fermi_integral_half(eta + h))
+                - float(fermi_integral_half(eta - h))
+            ) / (2 * h)
+            assert float(fermi_integral_minus_half(eta)) == pytest.approx(
+                num, rel=2e-2, abs=1e-8
+            ), eta
+
+    @given(eta=st.floats(-15, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_f_half_positive_and_monotonic(self, eta):
+        v = float(fermi_integral_half(eta))
+        v2 = float(fermi_integral_half(eta + 0.5))
+        assert v > 0
+        assert v2 > v
+
+
+class TestInverseFermiIntegral:
+    @pytest.mark.parametrize("eta", [-8.0, -2.0, 0.0, 1.5, 8.0, 25.0])
+    def test_roundtrip(self, eta):
+        v = float(fermi_integral_half(eta))
+        back = float(inverse_fermi_integral_half(v))
+        assert fermi_integral_half(back) == pytest.approx(v, rel=1e-6)
+
+    def test_vectorised(self):
+        etas = np.array([-3.0, 0.0, 4.0])
+        vals = fermi_integral_half(etas)
+        back = inverse_fermi_integral_half(vals)
+        np.testing.assert_allclose(
+            fermi_integral_half(back), vals, rtol=1e-6
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            inverse_fermi_integral_half(0.0)

@@ -1,0 +1,198 @@
+"""Tests for repro.physics.grids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.grids import (
+    AdaptiveEnergyGrid,
+    EnergyGrid,
+    MomentumGrid,
+    fermi_window_grid,
+    trapezoid_weights,
+    uniform_grid,
+)
+
+
+class TestTrapezoidWeights:
+    def test_uniform_weights(self):
+        pts = np.linspace(0, 1, 11)
+        w = trapezoid_weights(pts)
+        assert w[0] == pytest.approx(0.05)
+        assert w[5] == pytest.approx(0.1)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_single_point(self):
+        assert trapezoid_weights(np.array([3.0]))[0] == 1.0
+
+    def test_nonuniform_exact_for_linear(self):
+        pts = np.array([0.0, 0.1, 0.5, 0.6, 1.0])
+        w = trapezoid_weights(pts)
+        # trapezoid rule integrates linear functions exactly
+        assert w @ (2 * pts + 1) == pytest.approx(2.0)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            trapezoid_weights(np.array([0.0, 2.0, 1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            trapezoid_weights(np.array([]))
+
+
+class TestEnergyGrid:
+    def test_integrate_constant(self):
+        g = uniform_grid(0.0, 2.0, 21)
+        assert g.integrate(np.ones(21)) == pytest.approx(2.0)
+
+    def test_integrate_quadratic_converges(self):
+        g = uniform_grid(0.0, 1.0, 2001)
+        vals = g.energies**2
+        assert g.integrate(vals) == pytest.approx(1.0 / 3.0, abs=1e-6)
+
+    def test_integrate_matrix_values(self):
+        g = uniform_grid(0.0, 1.0, 11)
+        vals = np.ones((11, 3))
+        out = g.integrate(vals)
+        np.testing.assert_allclose(out, [1.0, 1.0, 1.0])
+
+    def test_shape_mismatch(self):
+        g = uniform_grid(0.0, 1.0, 11)
+        with pytest.raises(ValueError):
+            g.integrate(np.ones(10))
+
+    def test_restrict(self):
+        g = uniform_grid(0.0, 1.0, 101)
+        sub = g.restrict(0.25, 0.75)
+        assert sub.energies.min() >= 0.25
+        assert sub.energies.max() <= 0.75
+        assert sub.integrate(np.ones(len(sub))) == pytest.approx(0.5)
+
+    def test_restrict_empty_raises(self):
+        g = uniform_grid(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            g.restrict(2.0, 3.0)
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyGrid(np.array([0.0, 1.0]), np.array([1.0]))
+
+
+class TestUniformGrid:
+    def test_single_point_weight(self):
+        g = uniform_grid(0.0, 1.0, 1)
+        assert g.energies[0] == pytest.approx(0.5)
+        assert g.weights[0] == pytest.approx(1.0)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            uniform_grid(1.0, 0.0, 5)
+
+
+class TestFermiWindowGrid:
+    def test_covers_both_mus(self):
+        g = fermi_window_grid([0.3, -0.1], kT=0.025, n_points=51)
+        assert g.energies.min() < -0.1
+        assert g.energies.max() > 0.3
+
+    def test_band_bottom_clip(self):
+        g = fermi_window_grid([0.0], kT=0.025, band_bottom=-0.05)
+        assert g.energies.min() == pytest.approx(-0.05)
+
+    def test_width_scales_with_kT(self):
+        g1 = fermi_window_grid([0.0], kT=0.01, n_kT=10)
+        g2 = fermi_window_grid([0.0], kT=0.05, n_kT=10)
+        assert g2.energies.max() - g2.energies.min() > (
+            g1.energies.max() - g1.energies.min()
+        )
+
+    def test_needs_mu(self):
+        with pytest.raises(ValueError):
+            fermi_window_grid([], kT=0.025)
+
+
+class TestAdaptiveGrid:
+    def test_refines_near_sharp_feature(self):
+        # Lorentzian resonance at 0.5, width 1e-3.
+        def f(e):
+            return 1e-6 / ((e - 0.5) ** 2 + 1e-6)
+
+        adaptive = AdaptiveEnergyGrid(0.0, 1.0, n_initial=9, tol=1e-3)
+        grid = adaptive.refine(f)
+        # Node density near the resonance must far exceed density at edges.
+        near = np.sum(np.abs(grid.energies - 0.5) < 0.05)
+        far = np.sum(np.abs(grid.energies - 0.05) < 0.05)
+        assert near > 3 * max(far, 1)
+
+    def test_smooth_function_needs_few_points(self):
+        adaptive = AdaptiveEnergyGrid(0.0, 1.0, n_initial=9, tol=1e-2)
+        grid = adaptive.refine(lambda e: e)
+        assert len(grid) <= 20
+
+    def test_integral_accuracy_on_resonance(self):
+        gamma2 = 1e-4
+        f = lambda e: gamma2 / ((e - 0.5) ** 2 + gamma2)
+        adaptive = AdaptiveEnergyGrid(0.0, 1.0, n_initial=17, tol=1e-4)
+        grid = adaptive.refine(f, max_passes=20)
+        vals = adaptive.sampled_values(grid)
+        exact = np.sqrt(gamma2) * (
+            np.arctan(0.5 / np.sqrt(gamma2)) - np.arctan(-0.5 / np.sqrt(gamma2))
+        )
+        assert grid.integrate(vals) == pytest.approx(exact, rel=2e-2)
+
+    def test_caches_evaluations(self):
+        calls = []
+
+        def f(e):
+            calls.append(e)
+            return e
+
+        adaptive = AdaptiveEnergyGrid(0.0, 1.0, n_initial=5, tol=1e-2)
+        adaptive.refine(f)
+        assert len(calls) == len(set(calls))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AdaptiveEnergyGrid(1.0, 0.0)
+        with pytest.raises(ValueError):
+            AdaptiveEnergyGrid(0.0, 1.0, n_initial=2)
+
+
+class TestMomentumGrid:
+    def test_gamma_only(self):
+        g = MomentumGrid.gamma_only()
+        assert len(g) == 1
+        assert g.weights[0] == 1.0
+
+    def test_uniform_weight_sum(self):
+        g = MomentumGrid.uniform(0.5, 8)
+        assert g.weights.sum() == pytest.approx(1.0)
+        assert len(g) == 8
+
+    def test_uniform_within_bz(self):
+        L = 0.43
+        g = MomentumGrid.uniform(L, 16)
+        assert np.all(np.abs(g.k_points) <= np.pi / L)
+
+    def test_irreducible_halves_points(self):
+        g_full = MomentumGrid.uniform(0.5, 8)
+        g_irr = MomentumGrid.irreducible(0.5, 8)
+        assert len(g_irr) <= len(g_full) // 2 + 1
+        assert g_irr.weights.sum() == pytest.approx(1.0)
+        assert np.all(g_irr.k_points >= 0)
+
+    @given(n=st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_irreducible_integrates_even_functions_like_full(self, n):
+        L = 0.5
+        full = MomentumGrid.uniform(L, n)
+        irr = MomentumGrid.irreducible(L, n)
+        f = lambda k: np.cos(k * L) ** 2 + 1.0  # even in k
+        a = np.sum(full.weights * f(full.k_points))
+        b = np.sum(irr.weights * f(irr.k_points))
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            MomentumGrid(np.array([0.0, 0.1]), np.array([0.7, 0.7]))

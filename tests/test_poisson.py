@@ -1,0 +1,307 @@
+"""Poisson solver tests: manufactured solutions, charge models, Newton, mixing."""
+
+import numpy as np
+import pytest
+
+from repro.physics.constants import KT_ROOM
+from repro.poisson import (
+    AndersonMixer,
+    NonlinearPoisson,
+    PoissonGrid,
+    Q_OVER_EPS0_V_NM,
+    QuantumCorrectedCharge,
+    SemiclassicalCharge,
+    apply_dirichlet,
+    assemble_laplacian,
+    effective_dos_3d,
+)
+
+
+class TestGrid:
+    def test_covering(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.5, 0.5]])
+        g = PoissonGrid.covering(pos, 0.25, padding=2)
+        assert g.shape[0] == 5
+        assert g.shape[1] == 3 + 4
+        assert g.origin[1] == pytest.approx(-0.5)
+
+    def test_coordinates_order(self):
+        g = PoissonGrid(shape=(2, 2, 2), spacing=(1.0, 1.0, 1.0))
+        pts = g.coordinates()
+        np.testing.assert_allclose(pts[g.index(1, 0, 1)], [1.0, 0.0, 1.0])
+
+    def test_index_bounds(self):
+        g = PoissonGrid(shape=(2, 2, 2), spacing=(1.0, 1.0, 1.0))
+        with pytest.raises(IndexError):
+            g.index(2, 0, 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PoissonGrid(shape=(0, 2, 2), spacing=(1, 1, 1))
+        with pytest.raises(ValueError):
+            PoissonGrid(shape=(2, 2, 2), spacing=(0, 1, 1))
+
+    def test_deposit_conserves_total(self):
+        g = PoissonGrid(shape=(4, 4, 4), spacing=(0.5, 0.5, 0.5))
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0.0, 1.5, size=(20, 3))
+        vals = rng.uniform(0, 1, 20)
+        out = g.deposit(pos, vals)
+        assert out.sum() == pytest.approx(vals.sum(), rel=1e-12)
+
+    def test_deposit_on_node_is_local(self):
+        g = PoissonGrid(shape=(3, 3, 3), spacing=(1.0, 1.0, 1.0))
+        out = g.deposit(np.array([[1.0, 1.0, 1.0]]), np.array([2.0]))
+        assert out[g.index(1, 1, 1)] == pytest.approx(2.0)
+        assert np.count_nonzero(out) == 1
+
+    def test_interpolate_linear_exact(self):
+        g = PoissonGrid(shape=(4, 4, 4), spacing=(0.5, 0.5, 0.5))
+        pts = g.coordinates()
+        field = 1.0 + 2 * pts[:, 0] - 3 * pts[:, 1] + 0.5 * pts[:, 2]
+        rng = np.random.default_rng(1)
+        probe = rng.uniform(0.0, 1.5, size=(10, 3))
+        exact = 1.0 + 2 * probe[:, 0] - 3 * probe[:, 1] + 0.5 * probe[:, 2]
+        np.testing.assert_allclose(g.interpolate(field, probe), exact, atol=1e-12)
+
+    def test_deposit_interpolate_roundtrip_shapes(self):
+        g = PoissonGrid(shape=(3, 1, 1), spacing=(0.5, 0.5, 0.5))
+        out = g.deposit(np.array([[0.5, 0.0, 0.0]]), np.array([1.0]))
+        assert out.shape == (3,)
+
+    def test_boundary_mask(self):
+        g = PoissonGrid(shape=(3, 3, 3), spacing=(1, 1, 1))
+        m = g.boundary_mask(("y-",))
+        assert m.sum() == 9
+        m2 = g.boundary_mask(("y-", "y+", "z-", "z+"))
+        assert m2.sum() == 9 * 4 - 12  # overlap on edges counted once
+
+    def test_x_slab_mask(self):
+        g = PoissonGrid(shape=(5, 1, 1), spacing=(1, 1, 1))
+        m = g.x_slab_mask(1.0, 3.0)
+        assert m.sum() == 3
+
+
+class TestLaplacian:
+    def test_row_sums_zero(self):
+        """Natural BC operator annihilates constants."""
+        g = PoissonGrid(shape=(4, 3, 2), spacing=(0.5, 0.5, 0.5))
+        L = assemble_laplacian(g, np.ones(g.n_nodes))
+        np.testing.assert_allclose(L @ np.ones(g.n_nodes), 0.0, atol=1e-12)
+
+    def test_symmetric(self):
+        g = PoissonGrid(shape=(4, 3, 2), spacing=(0.5, 0.5, 0.5))
+        eps = 1.0 + np.arange(g.n_nodes) * 0.1
+        L = assemble_laplacian(g, eps)
+        assert abs(L - L.T).max() < 1e-12
+
+    def test_1d_second_derivative(self):
+        """On a 1-D grid, L phi approximates phi'' for interior nodes."""
+        n = 21
+        h = 0.1
+        g = PoissonGrid(shape=(n, 1, 1), spacing=(h, h, h))
+        x = g.coordinates()[:, 0]
+        phi = x**2
+        L = assemble_laplacian(g, np.ones(n))
+        out = L @ phi
+        np.testing.assert_allclose(out[1:-1], 2.0, atol=1e-9)
+
+    def test_manufactured_dirichlet_solution(self):
+        """Solve phi'' = 0 with phi(0)=0, phi(L)=1: linear profile."""
+        import scipy.sparse.linalg as spla
+        import scipy.sparse as sp
+
+        n = 11
+        g = PoissonGrid(shape=(n, 1, 1), spacing=(0.2, 0.2, 0.2))
+        L = assemble_laplacian(g, np.ones(n))
+        mask = np.zeros(n, dtype=bool)
+        mask[0] = mask[-1] = True
+        vals = np.zeros(n)
+        vals[-1] = 1.0
+        L2, rhs = apply_dirichlet(L, np.zeros(n), mask, vals)
+        phi = spla.spsolve(sp.csc_matrix(L2), rhs)
+        np.testing.assert_allclose(phi, np.linspace(0, 1, n), atol=1e-10)
+
+    def test_dielectric_interface_jump(self):
+        """Flux continuity: eps1 E1 = eps2 E2 across an interface."""
+        import scipy.sparse.linalg as spla
+        import scipy.sparse as sp
+
+        n = 21
+        g = PoissonGrid(shape=(n, 1, 1), spacing=(0.1, 0.1, 0.1))
+        eps = np.where(np.arange(n) < n // 2, 1.0, 4.0)
+        L = assemble_laplacian(g, eps)
+        mask = np.zeros(n, dtype=bool)
+        mask[0] = mask[-1] = True
+        vals = np.zeros(n)
+        vals[-1] = 1.0
+        L2, rhs = apply_dirichlet(L, np.zeros(n), mask, vals)
+        phi = spla.spsolve(sp.csc_matrix(L2), rhs)
+        # field in region 1 must be 4x the field in region 2
+        e1 = phi[1] - phi[0]
+        e2 = phi[-1] - phi[-2]
+        assert e1 / e2 == pytest.approx(4.0, rel=1e-6)
+
+    def test_eps_shape_check(self):
+        g = PoissonGrid(shape=(3, 1, 1), spacing=(1, 1, 1))
+        with pytest.raises(ValueError):
+            assemble_laplacian(g, np.ones(5))
+
+
+class TestChargeModels:
+    def test_silicon_nc(self):
+        # Nc(Si, 300 K) = 2.8e19 cm^-3 = 0.028 nm^-3 with mdos = 1.08.
+        assert effective_dos_3d(1.08, KT_ROOM) == pytest.approx(0.0282, rel=0.01)
+
+    def test_semiclassical_monotone_in_phi(self):
+        model = SemiclassicalCharge(mu=0.0, band_edge=0.1, m_rel=1.0, kT=0.0259)
+        phi = np.linspace(-0.5, 0.5, 21)
+        n = model.density(phi)
+        assert np.all(np.diff(n) > 0)
+
+    def test_semiclassical_derivative(self):
+        model = SemiclassicalCharge(mu=0.0, band_edge=0.05, m_rel=0.5, kT=0.0259)
+        phi = np.array([-0.2, 0.0, 0.3])
+        h = 1e-6
+        num = (model.density(phi + h) - model.density(phi - h)) / (2 * h)
+        np.testing.assert_allclose(model.d_density_d_phi(phi), num, rtol=1e-4)
+
+    def test_semiconductor_mask(self):
+        mask = np.array([True, False, True])
+        model = SemiclassicalCharge(
+            mu=0.0, band_edge=0.0, m_rel=1.0, kT=0.0259, semiconductor_mask=mask
+        )
+        n = model.density(np.zeros(3))
+        assert n[1] == 0.0
+        assert n[0] > 0.0
+
+    def test_quantum_corrected_at_reference(self):
+        n_ref = np.array([1.0, 2.0])
+        phi_ref = np.array([0.1, -0.1])
+        model = QuantumCorrectedCharge(n_ref, phi_ref, kT=0.0259)
+        np.testing.assert_allclose(model.density(phi_ref), n_ref)
+
+    def test_quantum_corrected_exponential(self):
+        model = QuantumCorrectedCharge(np.array([1.0]), np.array([0.0]), kT=0.025)
+        assert model.density(np.array([0.025]))[0] == pytest.approx(np.e)
+
+    def test_quantum_corrected_clamps(self):
+        model = QuantumCorrectedCharge(
+            np.array([1.0]), np.array([0.0]), kT=0.025, max_exponent=5.0
+        )
+        assert model.density(np.array([100.0]))[0] == pytest.approx(np.exp(5.0))
+
+    def test_invalid_dos_args(self):
+        with pytest.raises(ValueError):
+            effective_dos_3d(-1.0, 0.025)
+
+
+class TestNonlinearPoisson:
+    def make_1d_problem(self, n=31, nd=1e-3):
+        g = PoissonGrid(shape=(n, 1, 1), spacing=(0.5, 0.5, 0.5))
+        donors = np.full(n, nd)
+        return g, donors
+
+    def test_charge_neutral_flat_solution(self):
+        """Uniform donors + matching mu: phi = const solves the problem."""
+        g, donors = self.make_1d_problem()
+        model = SemiclassicalCharge(mu=0.0, band_edge=0.0, m_rel=1.0, kT=0.0259)
+        # choose donors so that n(phi=0) = N_D exactly
+        donors = np.full(g.n_nodes, float(model.density(np.zeros(1))[0]))
+        solver = NonlinearPoisson(g, np.ones(g.n_nodes), donors)
+        res = solver.solve(model)
+        assert res.converged
+        np.testing.assert_allclose(res.phi, res.phi[0], atol=1e-8)
+
+    def test_newton_quadratic_convergence(self):
+        g, donors = self.make_1d_problem()
+        model = SemiclassicalCharge(mu=0.0, band_edge=0.1, m_rel=1.0, kT=0.0259)
+        solver = NonlinearPoisson(g, np.ones(g.n_nodes), donors)
+        res = solver.solve(model, tol=1e-12)
+        assert res.converged
+        # quadratic tail: few iterations
+        assert res.n_iterations < 15
+
+    def test_gate_bias_bends_potential(self):
+        n = 21
+        g = PoissonGrid(shape=(n, 1, 1), spacing=(0.5, 0.5, 0.5))
+        donors = np.full(n, 1e-5)
+        mask = np.zeros(n, dtype=bool)
+        mask[0] = True
+        model = SemiclassicalCharge(mu=-0.2, band_edge=0.0, m_rel=1.0, kT=0.0259)
+        s_hi = NonlinearPoisson(g, np.ones(n), donors, mask, dirichlet_values=0.5)
+        s_lo = NonlinearPoisson(g, np.ones(n), donors, mask, dirichlet_values=-0.5)
+        phi_hi = s_hi.solve(model).phi
+        phi_lo = s_lo.solve(model).phi
+        assert phi_hi[0] == pytest.approx(0.5)
+        assert phi_lo[0] == pytest.approx(-0.5)
+        assert phi_hi[1] > phi_lo[1]  # bias penetrates
+
+    def test_screening_length_decreases_with_doping(self):
+        """Higher doping screens a gate perturbation over a shorter distance."""
+        n = 61
+        g = PoissonGrid(shape=(n, 1, 1), spacing=(0.25, 0.25, 0.25))
+        mask = np.zeros(n, dtype=bool)
+        mask[0] = True
+
+        def decay_length(nd):
+            mu = 0.0
+            model = SemiclassicalCharge(mu=mu, band_edge=0.0, m_rel=1.0, kT=0.0259)
+            donors = np.full(n, float(model.density(np.zeros(1))[0]) * nd)
+            # align mu so bulk is neutral at phi0: N_D = n(phi0)
+            phi0 = 0.0259 * np.log(nd) if nd < 1 else 0.0
+            solver = NonlinearPoisson(
+                g, np.ones(n), donors, mask, dirichlet_values=0.05
+            )
+            res = solver.solve(model, phi0=np.full(n, phi0), max_iter=100)
+            dphi = np.abs(res.phi - res.phi[-1])
+            dphi /= dphi[1]
+            below = np.flatnonzero(dphi < np.exp(-1.0))
+            return below[0] if below.size else n
+
+        assert decay_length(1.0) < decay_length(0.01)
+
+    def test_donor_shape_check(self):
+        g = PoissonGrid(shape=(4, 1, 1), spacing=(1, 1, 1))
+        with pytest.raises(ValueError):
+            NonlinearPoisson(g, np.ones(4), np.ones(5))
+
+    def test_bad_phi0(self):
+        g, donors = self.make_1d_problem(11)
+        model = SemiclassicalCharge(mu=0.0, band_edge=0.0, m_rel=1.0, kT=0.0259)
+        solver = NonlinearPoisson(g, np.ones(11), donors)
+        with pytest.raises(ValueError):
+            solver.solve(model, phi0=np.zeros(5))
+
+
+class TestAndersonMixer:
+    def test_fixed_point_linear_map(self):
+        """x -> A x + b with spectral radius < 1: Anderson beats plain mixing."""
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(8, 8))
+        A = 0.8 * A / np.abs(np.linalg.eigvals(A)).max()
+        b = rng.normal(size=8)
+        x_star = np.linalg.solve(np.eye(8) - A, b)
+
+        def run(mixer, n_iter):
+            x = np.zeros(8)
+            for _ in range(n_iter):
+                x = mixer.update(x, A @ x + b)
+            return np.linalg.norm(x - x_star)
+
+        err_anderson = run(AndersonMixer(depth=5, beta=0.7), 25)
+        plain = AndersonMixer(depth=0, beta=0.7)
+        err_plain = run(plain, 25)
+        assert err_anderson < err_plain * 0.1
+
+    def test_reset(self):
+        m = AndersonMixer(depth=3)
+        m.update(np.zeros(3), np.ones(3))
+        m.reset()
+        assert m._xs == []
+
+    def test_first_step_is_damped(self):
+        m = AndersonMixer(beta=0.5)
+        x = np.array([0.0])
+        out = m.update(x, np.array([1.0]))
+        assert out[0] == pytest.approx(0.5)

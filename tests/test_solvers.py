@@ -1,0 +1,279 @@
+"""Tests for the block-tridiagonal, SplitSolve and banded solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import (
+    BandedLU,
+    BlockTridiagLU,
+    SparseLU,
+    SplitSolve,
+    bandwidth_of_blocks,
+    block_tridiag_matvec,
+    partition_domains,
+)
+
+
+def random_btd(n_blocks, m, seed=0, diag_dominant=True):
+    """Random well-conditioned block-tridiagonal system."""
+    rng = np.random.default_rng(seed)
+
+    def rand(shape):
+        return rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+    diag = [rand((m, m)) for _ in range(n_blocks)]
+    if diag_dominant:
+        for d in diag:
+            d += 4.0 * m * np.eye(m)
+    upper = [rand((m, m)) for _ in range(n_blocks - 1)]
+    lower = [rand((m, m)) for _ in range(n_blocks - 1)]
+    return diag, upper, lower
+
+
+def to_dense(diag, upper, lower):
+    sizes = [d.shape[0] for d in diag]
+    off = np.concatenate([[0], np.cumsum(sizes)])
+    n = off[-1]
+    A = np.zeros((n, n), dtype=complex)
+    for i, d in enumerate(diag):
+        A[off[i] : off[i + 1], off[i] : off[i + 1]] = d
+    for i in range(len(upper)):
+        A[off[i] : off[i + 1], off[i + 1] : off[i + 2]] = upper[i]
+        A[off[i + 1] : off[i + 2], off[i] : off[i + 1]] = lower[i]
+    return A
+
+
+class TestMatvec:
+    def test_matches_dense(self):
+        diag, upper, lower = random_btd(5, 3, seed=1)
+        A = to_dense(diag, upper, lower)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=A.shape[0]) + 0j
+        xb = [x[3 * i : 3 * (i + 1)] for i in range(5)]
+        out = np.concatenate(block_tridiag_matvec(diag, upper, lower, xb))
+        np.testing.assert_allclose(out, A @ x, atol=1e-12)
+
+    def test_block_count_check(self):
+        diag, upper, lower = random_btd(3, 2)
+        with pytest.raises(ValueError):
+            block_tridiag_matvec(diag, upper, lower, [np.zeros(2)] * 2)
+
+
+class TestBlockTridiagLU:
+    @pytest.mark.parametrize("n,m", [(2, 1), (3, 2), (6, 4), (10, 3)])
+    def test_solve_matches_dense(self, n, m):
+        diag, upper, lower = random_btd(n, m, seed=n * 10 + m)
+        A = to_dense(diag, upper, lower)
+        rng = np.random.default_rng(5)
+        b = rng.normal(size=(A.shape[0], 2)) + 1j * rng.normal(size=(A.shape[0], 2))
+        lu = BlockTridiagLU(diag, upper, lower)
+        xb = lu.solve([b[m * i : m * (i + 1)] for i in range(n)])
+        x = np.vstack(xb)
+        np.testing.assert_allclose(x, np.linalg.solve(A, b), atol=1e-9)
+
+    def test_hermitian_coupling_default(self):
+        diag, upper, _ = random_btd(4, 3, seed=3)
+        lower = [u.conj().T for u in upper]
+        lu1 = BlockTridiagLU(diag, upper)
+        lu2 = BlockTridiagLU(diag, upper, lower)
+        rhs = [np.ones((3, 1), dtype=complex)] * 4
+        np.testing.assert_allclose(
+            np.vstack(lu1.solve(rhs)), np.vstack(lu2.solve(rhs)), atol=1e-12
+        )
+
+    def test_block_column(self):
+        diag, upper, lower = random_btd(5, 2, seed=7)
+        A = to_dense(diag, upper, lower)
+        Ainv = np.linalg.inv(A)
+        lu = BlockTridiagLU(diag, upper, lower)
+        for j in range(5):
+            col = np.vstack(lu.solve_block_column(j))
+            np.testing.assert_allclose(
+                col, Ainv[:, 2 * j : 2 * (j + 1)], atol=1e-9
+            )
+
+    def test_block_column_out_of_range(self):
+        diag, upper, lower = random_btd(3, 2)
+        lu = BlockTridiagLU(diag, upper, lower)
+        with pytest.raises(IndexError):
+            lu.solve_block_column(3)
+
+    def test_diagonal_of_inverse(self):
+        diag, upper, lower = random_btd(6, 3, seed=11)
+        A = to_dense(diag, upper, lower)
+        Ainv = np.linalg.inv(A)
+        lu = BlockTridiagLU(diag, upper, lower)
+        G = lu.diagonal_of_inverse()
+        for i in range(6):
+            np.testing.assert_allclose(
+                G[i], Ainv[3 * i : 3 * i + 3, 3 * i : 3 * i + 3], atol=1e-9
+            )
+
+    def test_corner_blocks(self):
+        diag, upper, lower = random_btd(4, 2, seed=13)
+        A = to_dense(diag, upper, lower)
+        Ainv = np.linalg.inv(A)
+        lu = BlockTridiagLU(diag, upper, lower)
+        np.testing.assert_allclose(
+            lu.corner_block("lower-left"), Ainv[-2:, :2], atol=1e-9
+        )
+        np.testing.assert_allclose(
+            lu.corner_block("upper-right"), Ainv[:2, -2:], atol=1e-9
+        )
+        with pytest.raises(ValueError):
+            lu.corner_block("middle")
+
+    def test_variable_block_sizes(self):
+        rng = np.random.default_rng(17)
+        sizes = [2, 4, 3]
+        diag = [
+            rng.normal(size=(s, s)) + 1j * rng.normal(size=(s, s)) + 10 * np.eye(s)
+            for s in sizes
+        ]
+        upper = [
+            rng.normal(size=(sizes[i], sizes[i + 1])) + 0j for i in range(2)
+        ]
+        lower = [
+            rng.normal(size=(sizes[i + 1], sizes[i])) + 0j for i in range(2)
+        ]
+        A = to_dense(diag, upper, lower)
+        lu = BlockTridiagLU(diag, upper, lower)
+        b = rng.normal(size=A.shape[0]) + 0j
+        off = np.concatenate([[0], np.cumsum(sizes)])
+        xb = lu.solve([b[off[i] : off[i + 1]] for i in range(3)])
+        np.testing.assert_allclose(
+            np.concatenate(xb), np.linalg.solve(A, b), atol=1e-9
+        )
+
+    @given(seed=st.integers(0, 200), n=st.integers(2, 8), m=st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_solve_random(self, seed, n, m):
+        diag, upper, lower = random_btd(n, m, seed=seed)
+        A = to_dense(diag, upper, lower)
+        rng = np.random.default_rng(seed + 1)
+        b = rng.normal(size=A.shape[0]) + 1j * rng.normal(size=A.shape[0])
+        lu = BlockTridiagLU(diag, upper, lower)
+        x = np.concatenate(lu.solve([b[m * i : m * (i + 1)] for i in range(n)]))
+        np.testing.assert_allclose(A @ x, b, atol=1e-8)
+
+
+class TestPartitionDomains:
+    def test_basic(self):
+        ranges = partition_domains(7, 2)
+        assert ranges == [(0, 2), (4, 6)]
+
+    def test_separator_slabs_excluded(self):
+        ranges = partition_domains(11, 3)
+        covered = set()
+        for a, b in ranges:
+            covered.update(range(a, b + 1))
+        seps = {r[1] + 1 for r in ranges[:-1]}
+        assert covered | seps == set(range(11))
+        assert covered & seps == set()
+
+    def test_single_domain(self):
+        assert partition_domains(5, 1) == [(0, 4)]
+
+    def test_too_many_domains(self):
+        with pytest.raises(ValueError):
+            partition_domains(4, 3)
+
+    def test_zero_domains(self):
+        with pytest.raises(ValueError):
+            partition_domains(4, 0)
+
+
+class TestSplitSolve:
+    @pytest.mark.parametrize("n,m,p", [(7, 2, 2), (11, 3, 3), (9, 2, 4), (5, 1, 2)])
+    def test_matches_monolithic(self, n, m, p):
+        diag, upper, lower = random_btd(n, m, seed=n + m + p)
+        A = to_dense(diag, upper, lower)
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=(A.shape[0], 3)) + 1j * rng.normal(size=(A.shape[0], 3))
+        ss = SplitSolve(diag, upper, lower, n_domains=p)
+        xb = ss.solve([b[m * i : m * (i + 1)] for i in range(n)])
+        np.testing.assert_allclose(np.vstack(xb), np.linalg.solve(A, b), atol=1e-8)
+
+    def test_single_domain_degenerates(self):
+        diag, upper, lower = random_btd(5, 2, seed=9)
+        ss = SplitSolve(diag, upper, lower, n_domains=1)
+        lu = BlockTridiagLU(diag, upper, lower)
+        rhs = [np.ones((2, 1), dtype=complex)] * 5
+        np.testing.assert_allclose(
+            np.vstack(ss.solve(rhs)), np.vstack(lu.solve(rhs)), atol=1e-10
+        )
+
+    def test_hermitian_coupling_default(self):
+        diag, upper, _ = random_btd(7, 2, seed=21)
+        ss = SplitSolve(diag, upper, n_domains=2)
+        A = to_dense(diag, upper, [u.conj().T for u in upper])
+        b = np.ones(A.shape[0], dtype=complex)
+        x = np.concatenate(ss.solve([b[2 * i : 2 * (i + 1)] for i in range(7)]))
+        np.testing.assert_allclose(A @ x, b, atol=1e-8)
+
+    def test_rhs_count_check(self):
+        diag, upper, lower = random_btd(5, 2)
+        ss = SplitSolve(diag, upper, lower, n_domains=2)
+        with pytest.raises(ValueError):
+            ss.solve([np.zeros(2)] * 4)
+
+    @given(
+        seed=st.integers(0, 100),
+        n=st.integers(5, 14),
+        p=st.integers(1, 4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_agreement(self, seed, n, p):
+        if n < 2 * p - 1:
+            return
+        m = 2
+        diag, upper, lower = random_btd(n, m, seed=seed)
+        A = to_dense(diag, upper, lower)
+        rng = np.random.default_rng(seed)
+        b = rng.normal(size=A.shape[0]) + 0j
+        ss = SplitSolve(diag, upper, lower, n_domains=p)
+        x = np.concatenate(
+            [np.atleast_1d(v) for v in ss.solve([b[m * i : m * (i + 1)] for i in range(n)])]
+        )
+        np.testing.assert_allclose(A @ x, b, atol=1e-7)
+
+
+class TestBanded:
+    def test_bandwidth(self):
+        assert bandwidth_of_blocks([3, 3, 3]) == 5
+        assert bandwidth_of_blocks([4]) == 3
+        assert bandwidth_of_blocks([2, 5, 2]) == 6
+
+    def test_banded_matches_dense(self):
+        diag, upper, lower = random_btd(6, 3, seed=31)
+        A = to_dense(diag, upper, lower)
+        lu = BandedLU(diag, upper, lower)
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=(A.shape[0], 4)) + 0j
+        np.testing.assert_allclose(lu.solve(b), np.linalg.solve(A, b), atol=1e-9)
+
+    def test_banded_shape_check(self):
+        diag, upper, lower = random_btd(3, 2)
+        lu = BandedLU(diag, upper, lower)
+        with pytest.raises(ValueError):
+            lu.solve(np.zeros(5))
+
+    def test_sparse_lu_matches(self):
+        import scipy.sparse as sp
+
+        diag, upper, lower = random_btd(6, 3, seed=41)
+        A = to_dense(diag, upper, lower)
+        slu = SparseLU(sp.csr_matrix(A))
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=A.shape[0]) + 0j
+        np.testing.assert_allclose(slu.solve(b), np.linalg.solve(A, b), atol=1e-9)
+        assert slu.fill_nnz > 0
+
+    def test_sparse_lu_shape_check(self):
+        import scipy.sparse as sp
+
+        slu = SparseLU(sp.eye(4, format="csr", dtype=complex))
+        with pytest.raises(ValueError):
+            slu.solve(np.zeros(3))

@@ -1,0 +1,224 @@
+"""Tests for device Hamiltonian assembly (blocks, passivation, wires)."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import (
+    ZincblendeCell,
+    partition_into_slabs,
+    rectangular_grid_device,
+    zincblende_nanowire,
+    zincblende_ultra_thin_body,
+)
+from repro.physics.constants import effective_mass_hopping
+from repro.tb import (
+    BlockTridiagonalHamiltonian,
+    build_device_hamiltonian,
+    periodic_wire_blocks,
+    silicon_sp3s,
+    single_band_material,
+    wire_band_edges,
+    wire_band_structure,
+    bulk_band_edges,
+)
+
+SI = ZincblendeCell(0.5431, "Si", "Si")
+
+
+def grid_device(nx=5, ny=2, nz=2, spacing=0.25):
+    s = rectangular_grid_device(spacing, nx, ny, nz)
+    return partition_into_slabs(s, spacing, spacing)
+
+
+class TestBlockTridiagonal:
+    def test_structure_checks(self):
+        with pytest.raises(ValueError):
+            BlockTridiagonalHamiltonian([np.eye(2)], [np.eye(2)])
+        with pytest.raises(ValueError):
+            BlockTridiagonalHamiltonian(
+                [np.eye(2), np.eye(3)], [np.zeros((3, 3))]
+            )
+
+    def test_to_dense_hermitian(self):
+        dev = grid_device()
+        mat = single_band_material(spacing_nm=0.25)
+        H = build_device_hamiltonian(dev, mat)
+        dense = H.to_dense()
+        np.testing.assert_allclose(dense, dense.conj().T, atol=1e-12)
+
+    def test_to_csr_matches_dense(self):
+        dev = grid_device()
+        mat = single_band_material(spacing_nm=0.25)
+        H = build_device_hamiltonian(dev, mat)
+        np.testing.assert_allclose(H.to_csr().toarray(), H.to_dense(), atol=1e-14)
+
+    def test_total_size(self):
+        dev = grid_device(4, 2, 3)
+        mat = single_band_material(spacing_nm=0.25)
+        H = build_device_hamiltonian(dev, mat)
+        assert H.total_size == 4 * 2 * 3
+        assert H.n_blocks == 4
+
+    def test_shifted(self):
+        dev = grid_device()
+        mat = single_band_material(spacing_nm=0.25)
+        H = build_device_hamiltonian(dev, mat)
+        S = H.shifted(0.5)
+        np.testing.assert_allclose(
+            S.to_dense(), H.to_dense() - 0.5 * np.eye(H.total_size), atol=1e-12
+        )
+
+    def test_block_offsets(self):
+        dev = grid_device(3, 1, 2)
+        mat = single_band_material(spacing_nm=0.25)
+        H = build_device_hamiltonian(dev, mat)
+        np.testing.assert_array_equal(H.block_offsets(), [0, 2, 4, 6])
+
+
+class TestSingleBandDevice:
+    def test_onsite_and_hopping_values(self):
+        t = effective_mass_hopping(0.25, 0.25)
+        mat = single_band_material(m_rel=0.25, spacing_nm=0.25)
+        dev = grid_device(3, 1, 1)
+        H = build_device_hamiltonian(dev, mat)
+        assert H.diagonal[0][0, 0] == pytest.approx(6 * t)
+        assert H.upper[0][0, 0] == pytest.approx(-t)
+
+    def test_potential_added(self):
+        mat = single_band_material(spacing_nm=0.25)
+        dev = grid_device(3, 1, 1)
+        pot = np.array([0.1, 0.2, 0.3])
+        H = build_device_hamiltonian(dev, mat, potential=pot)
+        H0 = build_device_hamiltonian(dev, mat)
+        for i in range(3):
+            assert H.diagonal[i][0, 0] - H0.diagonal[i][0, 0] == pytest.approx(
+                pot[i]
+            )
+
+    def test_potential_shape_check(self):
+        mat = single_band_material(spacing_nm=0.25)
+        dev = grid_device(3, 1, 1)
+        with pytest.raises(ValueError):
+            build_device_hamiltonian(dev, mat, potential=np.zeros(5))
+
+    def test_particle_in_box_levels(self):
+        """Closed 1-D chain spectrum = discretized particle-in-a-box."""
+        n = 30
+        a = 0.2
+        m_rel = 0.5
+        t = effective_mass_hopping(m_rel, a)
+        mat = single_band_material(m_rel=m_rel, spacing_nm=a, n_dim=1)
+        dev = grid_device(n, 1, 1, spacing=a)
+        H = build_device_hamiltonian(dev, mat)
+        ev = np.linalg.eigvalsh(H.to_dense())
+        # exact lattice levels: E_k = 2t(1 - cos(pi k /(n+1)))
+        exact = 2 * t * (1 - np.cos(np.pi * np.arange(1, n + 1) / (n + 1)))
+        np.testing.assert_allclose(ev, np.sort(exact), atol=1e-10)
+
+
+class TestUTBPhases:
+    def test_k_zero_real(self):
+        mat = single_band_material(spacing_nm=0.25)
+        s = rectangular_grid_device(0.25, 4, 3, 2, periodic_y=True)
+        dev = partition_into_slabs(s, 0.25, 0.25)
+        H = build_device_hamiltonian(dev, mat, k_transverse=0.0)
+        assert np.abs(H.to_dense().imag).max() < 1e-14
+
+    def test_k_nonzero_hermitian(self):
+        mat = single_band_material(spacing_nm=0.25)
+        s = rectangular_grid_device(0.25, 4, 3, 2, periodic_y=True)
+        dev = partition_into_slabs(s, 0.25, 0.25)
+        H = build_device_hamiltonian(dev, mat, k_transverse=1.3).to_dense()
+        np.testing.assert_allclose(H, H.conj().T, atol=1e-12)
+
+    def test_transverse_dispersion(self):
+        """Eigenvalues of a periodic 1-atom-y ring shift by -2t cos(k L)."""
+        t = effective_mass_hopping(0.25, 0.25)
+        mat = single_band_material(m_rel=0.25, spacing_nm=0.25)
+        s = rectangular_grid_device(0.25, 2, 1, 1, periodic_y=True)
+        dev = partition_into_slabs(s, 0.25, 0.25)
+        L = 0.25
+        for ky in (0.0, 1.0, 2.0):
+            H = build_device_hamiltonian(dev, mat, k_transverse=ky)
+            # single y cell periodic: wrap bonds add -t e^{ikL} + h.c.
+            onsite = H.diagonal[0][0, 0]
+            expected = 6 * t - 2 * t * np.cos(ky * L)
+            assert onsite.real == pytest.approx(expected, abs=1e-12)
+
+
+class TestWireHamiltonian:
+    def test_passivation_opens_gap(self):
+        """Unpassivated Si wire has mid-gap surface states; passivated none."""
+        mat = silicon_sp3s()
+        wire = zincblende_nanowire(SI, 2, 1, 1)
+        h00p, h01p, L = periodic_wire_blocks(wire, mat, passivate=True)
+        h00u, h01u, _ = periodic_wire_blocks(wire, mat, passivate=False)
+        edges = bulk_band_edges(mat, n_samples=41)
+        mid = 0.5 * (edges["Ec"] + edges["Ev"])
+        _, e_pass = wire_band_structure(h00p, h01p, L, n_k=11)
+        _, e_unpass = wire_band_structure(h00u, h01u, L, n_k=11)
+        # passivated: clean gap around bulk midgap
+        gap_zone_pass = np.sum(np.abs(e_pass - mid) < 0.3)
+        gap_zone_unpass = np.sum(np.abs(e_unpass - mid) < 0.3)
+        assert gap_zone_pass == 0
+        assert gap_zone_unpass > 0
+
+    def test_confinement_widens_gap(self):
+        mat = silicon_sp3s()
+        bulk_gap = bulk_band_edges(mat, n_samples=41)["gap"]
+        wire = zincblende_nanowire(SI, 2, 1, 1)
+        h00, h01, L = periodic_wire_blocks(wire, mat)
+        edges = bulk_band_edges(mat, n_samples=41)
+        mid = 0.5 * (edges["Ec"] + edges["Ev"])
+        w = wire_band_edges(h00, h01, L, reference_midgap=mid)
+        assert w["gap"] > bulk_gap + 0.1
+
+    def test_larger_wire_smaller_gap(self):
+        mat = silicon_sp3s()
+        edges = bulk_band_edges(mat, n_samples=41)
+        mid = 0.5 * (edges["Ec"] + edges["Ev"])
+        gaps = []
+        for n in (1, 2):
+            wire = zincblende_nanowire(SI, 2, n, n)
+            h00, h01, L = periodic_wire_blocks(wire, mat)
+            gaps.append(wire_band_edges(h00, h01, L, reference_midgap=mid)["gap"])
+        assert gaps[1] < gaps[0]
+
+    def test_open_ends_not_passivated_along_x(self):
+        """End slabs must keep lead-facing bonds unpassivated."""
+        mat = silicon_sp3s()
+        wire = zincblende_nanowire(SI, 3, 1, 1)
+        dev = partition_into_slabs(wire, SI.a_nm, SI.bond_length_nm)
+        H_open = build_device_hamiltonian(dev, mat, open_left=True, open_right=True)
+        # translation invariance: all diagonal blocks equal for a uniform wire
+        np.testing.assert_allclose(
+            H_open.diagonal[0], H_open.diagonal[1], atol=1e-9
+        )
+        # closed ends break it
+        H_closed = build_device_hamiltonian(
+            dev, mat, open_left=False, open_right=False
+        )
+        assert not np.allclose(H_closed.diagonal[0], H_closed.diagonal[1], atol=1e-6)
+
+    def test_periodic_wire_blocks_requires_uniform(self):
+        mat = single_band_material(spacing_nm=0.25)
+        s = rectangular_grid_device(0.25, 4, 2, 2)
+        # knock out one atom to break periodicity
+        s2 = s.select([True] * (s.n_atoms - 1) + [False])
+        with pytest.raises(ValueError):
+            periodic_wire_blocks(s2, mat)
+
+    def test_spinful_wire_doubles_dimension(self):
+        mat = silicon_sp3s()
+        wire = zincblende_nanowire(SI, 2, 1, 1)
+        h00, _, _ = periodic_wire_blocks(wire, mat)
+        h00s, _, _ = periodic_wire_blocks(wire, mat.with_spin())
+        assert h00s.shape[0] == 2 * h00.shape[0]
+
+    def test_spinful_wire_kramers_degeneracy(self):
+        mat = silicon_sp3s().with_spin()
+        wire = zincblende_nanowire(SI, 2, 1, 1)
+        h00, h01, L = periodic_wire_blocks(wire, mat)
+        ev = np.linalg.eigvalsh(h00)  # k-independent check on the slab block
+        # every level of the (real + SO) Hamiltonian doubly degenerate
+        np.testing.assert_allclose(ev[0::2], ev[1::2], atol=1e-9)

@@ -1,0 +1,204 @@
+"""Band-structure validation of the material parameter sets.
+
+These are the physics acceptance tests of the tight-binding layer: the
+textbook band features every parameterisation must reproduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.physics.constants import HBAR2_OVER_2M0
+from repro.tb import (
+    band_structure_path,
+    bulk_band_edges,
+    bulk_hamiltonian,
+    effective_mass,
+    gaas_sp3s,
+    germanium_sp3s,
+    get_material,
+    inas_sp3s,
+    silicon_sp3d5s,
+    silicon_sp3s,
+    single_band_material,
+)
+from repro.lattice.zincblende import high_symmetry_points
+
+
+class TestBulkGaps:
+    def test_silicon_sp3s_indirect(self):
+        be = bulk_band_edges(silicon_sp3s(), n_samples=81)
+        assert not be["direct"]
+        assert be["cbm_direction"] == "X"
+        assert 1.0 < be["gap"] < 1.35
+
+    def test_silicon_sp3d5s_indirect(self):
+        be = bulk_band_edges(silicon_sp3d5s(), n_samples=81)
+        assert not be["direct"]
+        assert be["cbm_direction"] == "X"
+        assert 1.05 < be["gap"] < 1.25
+        # conduction minimum near 0.8-0.9 of Gamma-X (the famous Si valley)
+        a = 0.5431
+        kx = np.linalg.norm(be["cbm_k"]) / (2 * np.pi / a)
+        assert 0.7 < kx < 0.95
+
+    def test_gaas_direct(self):
+        be = bulk_band_edges(gaas_sp3s(), n_samples=81)
+        assert be["direct"]
+        assert be["gap"] == pytest.approx(1.55, abs=0.05)
+
+    def test_inas_direct_narrow(self):
+        be = bulk_band_edges(inas_sp3s(), n_samples=81)
+        assert be["direct"]
+        assert be["gap"] == pytest.approx(0.43, abs=0.05)
+
+    def test_germanium_L_valley(self):
+        be = bulk_band_edges(germanium_sp3s(), n_samples=81)
+        assert not be["direct"]
+        assert be["cbm_direction"] == "L"
+        assert 0.6 < be["gap"] < 0.9
+
+
+class TestBandStructureProperties:
+    @pytest.mark.parametrize(
+        "factory", [silicon_sp3s, gaas_sp3s, silicon_sp3d5s]
+    )
+    def test_hermitian_at_random_k(self, factory):
+        mat = factory()
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            k = rng.uniform(-5, 5, 3)
+            H = bulk_hamiltonian(mat, k)
+            np.testing.assert_allclose(H, H.conj().T, atol=1e-12)
+
+    def test_band_count(self):
+        mat = silicon_sp3s()
+        H = bulk_hamiltonian(mat, np.zeros(3))
+        assert H.shape == (10, 10)  # 2 atoms x 5 orbitals
+
+    def test_band_count_sp3d5s_with_spin(self):
+        mat = silicon_sp3d5s().with_spin()
+        H = bulk_hamiltonian(mat, np.zeros(3))
+        assert H.shape == (40, 40)
+
+    def test_reciprocal_periodicity(self):
+        mat = gaas_sp3s()
+        from repro.lattice.zincblende import primitive_cell_info
+
+        info = primitive_cell_info(mat.cell)
+        G = info["reciprocal_vectors"][0]
+        k = np.array([0.3, -0.2, 0.1])
+        e1 = np.linalg.eigvalsh(bulk_hamiltonian(mat, k))
+        e2 = np.linalg.eigvalsh(bulk_hamiltonian(mat, k + G))
+        np.testing.assert_allclose(e1, e2, atol=1e-9)
+
+    def test_time_reversal(self):
+        mat = silicon_sp3s()
+        k = np.array([1.0, 2.0, -0.5])
+        e1 = np.linalg.eigvalsh(bulk_hamiltonian(mat, k))
+        e2 = np.linalg.eigvalsh(bulk_hamiltonian(mat, -k))
+        np.testing.assert_allclose(e1, e2, atol=1e-10)
+
+    def test_cubic_symmetry(self):
+        mat = silicon_sp3d5s()
+        k1 = np.array([1.3, 0.0, 0.0])
+        k2 = np.array([0.0, 1.3, 0.0])
+        k3 = np.array([0.0, 0.0, 1.3])
+        e1 = np.linalg.eigvalsh(bulk_hamiltonian(mat, k1))
+        for k in (k2, k3):
+            np.testing.assert_allclose(
+                np.linalg.eigvalsh(bulk_hamiltonian(mat, k)), e1, atol=1e-9
+            )
+
+    def test_spin_orbit_splits_valence_top(self):
+        mat = gaas_sp3s().with_spin()
+        H = bulk_hamiltonian(mat, np.zeros(3))
+        ev = np.linalg.eigvalsh(H)
+        # top valence states: 4-fold (j=3/2) above 2-fold (j=1/2, split-off);
+        # the 8 valence states are 2 deep s-bonding + 6 p-bonding.
+        vb = ev[:8]
+        so_split = vb[-1] - vb[2]
+        assert so_split == pytest.approx(0.34, abs=0.05)
+
+    def test_band_path_shape(self):
+        bp = band_structure_path(silicon_sp3s(), n_per_segment=10)
+        assert bp.energies.shape[1] == 10
+        assert bp.energies.shape[0] == bp.distances.shape[0]
+        assert len(bp.labels) == 3
+
+    def test_band_path_monotone_distance(self):
+        bp = band_structure_path(silicon_sp3s(), n_per_segment=8)
+        assert np.all(np.diff(bp.distances) >= 0)
+
+
+class TestEffectiveMasses:
+    def test_gaas_gamma_electron_mass(self):
+        mat = gaas_sp3s()
+        m = effective_mass(mat, np.zeros(3), [1, 0, 0], band_index=4)
+        # Vogl sp3s* gives a Gamma mass in the rough vicinity of the
+        # experimental 0.067 (sp3s* is known to overestimate it).
+        assert 0.02 < m < 0.2
+
+    def test_single_band_mass_roundtrip(self):
+        # The discretized effective-mass model must return its input mass.
+        mat = single_band_material(m_rel=0.31, spacing_nm=0.2, n_dim=1)
+        from repro.tb.chain import chain_dispersion
+
+        t = -mat.sk[("X", "X")].ss_sigma
+        a = mat.grid_spacing_nm
+        ks = np.array([-1e-3, 0.0, 1e-3]) / a
+        e = chain_dispersion(ks, mat.onsite["X"][list(mat.onsite["X"])[0]], t, a)
+        curv = (e[0] - 2 * e[1] + e[2]) / (1e-3 / a) ** 2
+        m = 2 * HBAR2_OVER_2M0 / curv
+        assert m == pytest.approx(0.31, rel=1e-4)
+
+    def test_heavy_mass_heavier_than_light(self):
+        mat = gaas_sp3s()
+        # valence top at Gamma: band 3 (heavy) flatter than band 1.
+        m_hh = abs(effective_mass(mat, np.zeros(3), [1, 0, 0], band_index=3))
+        m_el = abs(effective_mass(mat, np.zeros(3), [1, 0, 0], band_index=4))
+        assert m_hh > m_el
+
+
+class TestMaterialRegistry:
+    def test_get_material(self):
+        mat = get_material("Si-sp3s*")
+        assert mat.name == "Si-sp3s*"
+
+    def test_get_material_kwargs(self):
+        mat = get_material("single-band", m_rel=0.5)
+        assert mat.band_edges["m_rel"] == 0.5
+
+    def test_unknown_material(self):
+        with pytest.raises(KeyError):
+            get_material("unobtainium")
+
+    def test_sk_params_reversal(self):
+        mat = gaas_sp3s()
+        ac = mat.sk_params("As", "Ga")
+        ca = mat.sk_params("Ga", "As")
+        assert ca.sp_sigma == pytest.approx(ac.ps_sigma)
+        assert ca.ps_sigma == pytest.approx(ac.sp_sigma)
+
+    def test_sk_params_missing(self):
+        with pytest.raises(KeyError):
+            silicon_sp3s().sk_params("Si", "Ge")
+
+    def test_onsite_missing_species(self):
+        with pytest.raises(KeyError):
+            silicon_sp3s().onsite_matrix("Ge")
+
+    def test_with_spin_doubles_size(self):
+        mat = silicon_sp3s()
+        assert mat.with_spin().orbitals_per_atom == 2 * mat.orbitals_per_atom
+
+
+class TestSingleBandMaterial:
+    def test_band_bottom_at_edge(self):
+        mat = single_band_material(m_rel=0.4, spacing_nm=0.25, band_edge_ev=0.37, n_dim=1)
+        t = -mat.sk[("X", "X")].ss_sigma
+        e0 = mat.onsite["X"][next(iter(mat.onsite["X"]))]
+        assert e0 - 2 * t == pytest.approx(0.37)
+
+    def test_invalid_ndim(self):
+        with pytest.raises(ValueError):
+            single_band_material(n_dim=4)

@@ -1,0 +1,279 @@
+"""Tests for the Slater-Koster rotation engine against the 1954 table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tb import BASIS_SP3D5S, BASIS_SP3S, Orbital, SKParams
+from repro.tb.slater_koster import (
+    d_rotation,
+    rotation_to_direction,
+    sk_hopping_block,
+)
+
+FULL = SKParams(
+    ss_sigma=-1.3,
+    sp_sigma=2.1,
+    ps_sigma=1.7,
+    pp_sigma=3.2,
+    pp_pi=-0.9,
+    sstar_sstar_sigma=-0.5,
+    s_sstar_sigma=-0.4,
+    sstar_s_sigma=-0.3,
+    sstar_p_sigma=1.1,
+    p_sstar_sigma=0.8,
+    sd_sigma=-1.9,
+    ds_sigma=-1.2,
+    sstar_d_sigma=-0.6,
+    d_sstar_sigma=-0.7,
+    pd_sigma=-1.4,
+    dp_sigma=-1.1,
+    pd_pi=2.2,
+    dp_pi=1.8,
+    dd_sigma=-1.6,
+    dd_pi=2.5,
+    dd_delta=-1.8,
+)
+
+
+def unit(v):
+    v = np.asarray(v, dtype=float)
+    return v / np.linalg.norm(v)
+
+
+class TestRotations:
+    @given(
+        x=st.floats(-1, 1),
+        y=st.floats(-1, 1),
+        z=st.floats(-1, 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rotation_maps_z_to_direction(self, x, y, z):
+        v = np.array([x, y, z])
+        if np.linalg.norm(v) < 1e-3:
+            return
+        d = unit(v)
+        R = rotation_to_direction(d)
+        np.testing.assert_allclose(R @ [0, 0, 1], d, atol=1e-10)
+        np.testing.assert_allclose(R @ R.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(R) == pytest.approx(1.0)
+
+    def test_rotation_antiparallel(self):
+        R = rotation_to_direction(np.array([0.0, 0.0, -1.0]))
+        np.testing.assert_allclose(R @ [0, 0, 1], [0, 0, -1], atol=1e-12)
+        assert np.linalg.det(R) == pytest.approx(1.0)
+
+    def test_rotation_requires_unit_vector(self):
+        with pytest.raises(ValueError):
+            rotation_to_direction(np.array([1.0, 1.0, 0.0]))
+
+    def test_d_rotation_orthogonal(self):
+        R = rotation_to_direction(unit([1, 2, 3]))
+        D = d_rotation(R)
+        np.testing.assert_allclose(D @ D.T, np.eye(5), atol=1e-10)
+
+    def test_d_rotation_identity(self):
+        np.testing.assert_allclose(d_rotation(np.eye(3)), np.eye(5), atol=1e-12)
+
+    def test_d_rotation_composition(self):
+        Ra = rotation_to_direction(unit([1, 1, 0]))
+        Rb = rotation_to_direction(unit([0, 1, 1]))
+        np.testing.assert_allclose(
+            d_rotation(Ra @ Rb), d_rotation(Ra) @ d_rotation(Rb), atol=1e-10
+        )
+
+
+class TestAgainstSlaterKosterTable:
+    """Hand-derived entries of the SK table as the oracle."""
+
+    def check(self, d, left, right, expected):
+        block = sk_hopping_block(FULL, unit(d), BASIS_SP3D5S)
+        got = block[list(BASIS_SP3D5S.orbitals).index(left)][
+            list(BASIS_SP3D5S.orbitals).index(right)
+        ]
+        assert got == pytest.approx(expected, abs=1e-12)
+
+    def test_ss(self):
+        self.check([1, 1, 1], Orbital.S, Orbital.S, FULL.ss_sigma)
+
+    def test_s_px(self):
+        l = 1 / np.sqrt(3)
+        self.check([1, 1, 1], Orbital.S, Orbital.PX, l * FULL.sp_sigma)
+
+    def test_px_s_sign(self):
+        l = 1 / np.sqrt(3)
+        self.check([1, 1, 1], Orbital.PX, Orbital.S, -l * FULL.ps_sigma)
+
+    def test_px_px(self):
+        d = unit([1, 2, 2])
+        l = d[0]
+        self.check(
+            d,
+            Orbital.PX,
+            Orbital.PX,
+            l**2 * FULL.pp_sigma + (1 - l**2) * FULL.pp_pi,
+        )
+
+    def test_px_py(self):
+        d = unit([1, 2, 2])
+        l, m = d[0], d[1]
+        self.check(
+            d, Orbital.PX, Orbital.PY, l * m * (FULL.pp_sigma - FULL.pp_pi)
+        )
+
+    def test_s_dxy(self):
+        d = unit([1, 2, 3])
+        l, m = d[0], d[1]
+        self.check(
+            d, Orbital.S, Orbital.DXY, np.sqrt(3) * l * m * FULL.sd_sigma
+        )
+
+    def test_s_dx2y2(self):
+        d = unit([1, 2, 3])
+        l, m = d[0], d[1]
+        self.check(
+            d,
+            Orbital.S,
+            Orbital.DX2Y2,
+            0.5 * np.sqrt(3) * (l**2 - m**2) * FULL.sd_sigma,
+        )
+
+    def test_s_dz2(self):
+        d = unit([1, 2, 3])
+        l, m, n = d
+        self.check(
+            d,
+            Orbital.S,
+            Orbital.DZ2,
+            (n**2 - 0.5 * (l**2 + m**2)) * FULL.sd_sigma,
+        )
+
+    def test_px_dxy(self):
+        d = unit([1, 2, 3])
+        l, m = d[0], d[1]
+        self.check(
+            d,
+            Orbital.PX,
+            Orbital.DXY,
+            np.sqrt(3) * l**2 * m * FULL.pd_sigma
+            + m * (1 - 2 * l**2) * FULL.pd_pi,
+        )
+
+    def test_px_dyz(self):
+        d = unit([1, 2, 3])
+        l, m, n = d
+        self.check(
+            d,
+            Orbital.PX,
+            Orbital.DYZ,
+            l * m * n * (np.sqrt(3) * FULL.pd_sigma - 2 * FULL.pd_pi),
+        )
+
+    def test_pz_dz2(self):
+        d = unit([1, 2, 3])
+        l, m, n = d
+        self.check(
+            d,
+            Orbital.PZ,
+            Orbital.DZ2,
+            n * (n**2 - 0.5 * (l**2 + m**2)) * FULL.pd_sigma
+            + np.sqrt(3) * n * (l**2 + m**2) * FULL.pd_pi,
+        )
+
+    def test_dxy_dxy(self):
+        d = unit([1, 2, 3])
+        l, m, n = d
+        self.check(
+            d,
+            Orbital.DXY,
+            Orbital.DXY,
+            3 * l**2 * m**2 * FULL.dd_sigma
+            + (l**2 + m**2 - 4 * l**2 * m**2) * FULL.dd_pi
+            + (n**2 + l**2 * m**2) * FULL.dd_delta,
+        )
+
+    def test_dx2y2_dx2y2(self):
+        d = unit([1, 2, 3])
+        l, m, n = d
+        lm2 = (l**2 - m**2) ** 2
+        self.check(
+            d,
+            Orbital.DX2Y2,
+            Orbital.DX2Y2,
+            0.75 * lm2 * FULL.dd_sigma
+            + (l**2 + m**2 - lm2) * FULL.dd_pi
+            + (n**2 + lm2 / 4.0) * FULL.dd_delta,
+        )
+
+    def test_dz2_dz2(self):
+        d = unit([1, 2, 3])
+        l, m, n = d
+        s = l**2 + m**2
+        self.check(
+            d,
+            Orbital.DZ2,
+            Orbital.DZ2,
+            (n**2 - 0.5 * s) ** 2 * FULL.dd_sigma
+            + 3 * n**2 * s * FULL.dd_pi
+            + 0.75 * s**2 * FULL.dd_delta,
+        )
+
+    def test_dxy_dz2(self):
+        d = unit([1, 2, 3])
+        l, m, n = d
+        s = l**2 + m**2
+        self.check(
+            d,
+            Orbital.DXY,
+            Orbital.DZ2,
+            np.sqrt(3) * l * m * (n**2 - 0.5 * s) * FULL.dd_sigma
+            - 2 * np.sqrt(3) * l * m * n**2 * FULL.dd_pi
+            + 0.5 * np.sqrt(3) * l * m * (1 + n**2) * FULL.dd_delta,
+        )
+
+
+class TestHermiticityAndParity:
+    @given(
+        x=st.floats(-1, 1),
+        y=st.floats(-1, 1),
+        z=st.floats(-1, 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reverse_bond_is_transpose(self, x, y, z):
+        """B_ji(-d) with reversed params must equal B_ij(d)^T (hermiticity)."""
+        v = np.array([x, y, z])
+        if np.linalg.norm(v) < 1e-3:
+            return
+        d = unit(v)
+        fwd = sk_hopping_block(FULL, d, BASIS_SP3D5S)
+        bwd = sk_hopping_block(FULL.reversed(), -d, BASIS_SP3D5S)
+        np.testing.assert_allclose(bwd, fwd.T, atol=1e-10)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_rotation_gauge_invariance(self, seed):
+        """Extra rotation about the bond axis must not change the block."""
+        rng = np.random.default_rng(seed)
+        d = unit(rng.normal(size=3))
+        base = sk_hopping_block(FULL, d, BASIS_SP3D5S)
+        # conjugate the direction by a random rotation and rotate back
+        again = sk_hopping_block(FULL, d, BASIS_SP3D5S)
+        np.testing.assert_allclose(base, again, atol=1e-12)
+
+    def test_basis_restriction(self):
+        block = sk_hopping_block(FULL, unit([1, 1, 1]), BASIS_SP3S)
+        assert block.shape == (5, 5)
+        full = sk_hopping_block(FULL, unit([1, 1, 1]), BASIS_SP3D5S)
+        idx = [0, 1, 2, 3, 9]
+        np.testing.assert_allclose(block, full[np.ix_(idx, idx)])
+
+
+class TestReversedParams:
+    def test_involution(self):
+        assert FULL.reversed().reversed() == FULL
+
+    def test_scaled(self):
+        s = FULL.scaled(2.0)
+        assert s.ss_sigma == pytest.approx(2 * FULL.ss_sigma)
+        assert s.dd_delta == pytest.approx(2 * FULL.dd_delta)

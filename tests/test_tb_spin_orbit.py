@@ -1,0 +1,92 @@
+"""Tests for the spin-orbit operator."""
+
+import numpy as np
+import pytest
+
+from repro.tb import BASIS_SP3D5S, BASIS_SP3S, spin_orbit_block
+from repro.tb.spin_orbit import PAULI, p_shell_l_matrices
+
+
+class TestLMatrices:
+    def test_commutation_relations(self):
+        L = p_shell_l_matrices()
+        # [Lx, Ly] = i Lz and cyclic.
+        for a, b, c in ((0, 1, 2), (1, 2, 0), (2, 0, 1)):
+            comm = L[a] @ L[b] - L[b] @ L[a]
+            np.testing.assert_allclose(comm, 1j * L[c], atol=1e-12)
+
+    def test_casimir(self):
+        L = p_shell_l_matrices()
+        L2 = sum(L[k] @ L[k] for k in range(3))
+        np.testing.assert_allclose(L2, 2.0 * np.eye(3), atol=1e-12)  # l(l+1)=2
+
+    def test_hermitian(self):
+        for Lk in p_shell_l_matrices():
+            np.testing.assert_allclose(Lk, Lk.conj().T, atol=1e-12)
+
+
+class TestPauli:
+    def test_algebra(self):
+        for k in range(3):
+            np.testing.assert_allclose(PAULI[k] @ PAULI[k], np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(
+            PAULI[0] @ PAULI[1], 1j * PAULI[2], atol=1e-12
+        )
+
+
+class TestSpinOrbitBlock:
+    def test_eigenvalue_splitting(self):
+        """p shell splits into j=3/2 at +D/3 and j=1/2 at -2D/3."""
+        delta = 0.3
+        H = spin_orbit_block(delta, BASIS_SP3S.with_spin())
+        ev = np.linalg.eigvalsh(H)
+        # 4 zero (s, s* both spins), 4 at +delta/3, 2 at -2 delta/3
+        ev_sorted = np.sort(ev)
+        np.testing.assert_allclose(ev_sorted[:2], -2 * delta / 3, atol=1e-12)
+        np.testing.assert_allclose(ev_sorted[2:6], 0.0, atol=1e-12)
+        np.testing.assert_allclose(ev_sorted[6:], delta / 3, atol=1e-12)
+
+    def test_total_splitting_is_delta(self):
+        delta = 0.29
+        H = spin_orbit_block(delta, BASIS_SP3S.with_spin())
+        ev = np.linalg.eigvalsh(H)
+        assert ev.max() - ev.min() == pytest.approx(delta)
+
+    def test_traceless(self):
+        H = spin_orbit_block(0.5, BASIS_SP3D5S.with_spin())
+        assert abs(np.trace(H)) < 1e-12
+
+    def test_hermitian(self):
+        H = spin_orbit_block(0.12, BASIS_SP3D5S.with_spin())
+        np.testing.assert_allclose(H, H.conj().T, atol=1e-14)
+
+    def test_zero_delta(self):
+        H = spin_orbit_block(0.0, BASIS_SP3S.with_spin())
+        np.testing.assert_allclose(H, 0.0)
+
+    def test_requires_spin(self):
+        with pytest.raises(ValueError):
+            spin_orbit_block(0.1, BASIS_SP3S)
+
+    def test_commutes_with_total_j(self):
+        """H_SO commutes with J = L + S (rotational invariance)."""
+        basis = BASIS_SP3S.with_spin()
+        H = spin_orbit_block(0.2, basis)
+        L = p_shell_l_matrices()
+        n = basis.size
+        for k in range(3):
+            J = np.zeros((n, n), dtype=complex)
+            # embed L_k ⊗ I2 + I3 ⊗ S_k on the p block
+            from repro.tb import Orbital
+
+            p_orbs = [Orbital.PX, Orbital.PY, Orbital.PZ]
+            for a, oa in enumerate(p_orbs):
+                for b, ob in enumerate(p_orbs):
+                    for sa in range(2):
+                        for sb in range(2):
+                            ia = basis.index(oa, sa == 0)
+                            ib = basis.index(ob, sb == 0)
+                            J[ia, ib] += L[k][a, b] * (sa == sb)
+                            J[ia, ib] += (a == b) * 0.5 * PAULI[k][sa, sb]
+            comm = H @ J - J @ H
+            np.testing.assert_allclose(comm, 0.0, atol=1e-12)

@@ -1,0 +1,129 @@
+"""Tests for Harrison strain scaling of the two-centre integrals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import ZincblendeCell, partition_into_slabs, zincblende_nanowire
+from repro.tb import (
+    SKParams,
+    build_device_hamiltonian,
+    bulk_band_edges,
+    scale_sk_params,
+    silicon_sp3s,
+)
+from repro.tb.parameters import TBMaterial
+from repro.lattice.zincblende import bond_length
+
+
+class TestScaleSKParams:
+    def test_identity_at_ideal_length(self):
+        p = SKParams(ss_sigma=-2.0, pp_sigma=3.0, pp_pi=-1.0)
+        out = scale_sk_params(p, 0.235, 0.235)
+        assert out == p
+
+    def test_harrison_d_minus_2(self):
+        p = SKParams(ss_sigma=-2.0)
+        out = scale_sk_params(p, 0.2, 0.4, eta=2.0)
+        assert out.ss_sigma == pytest.approx(-0.5)
+
+    def test_compression_strengthens(self):
+        p = SKParams(pp_sigma=3.0)
+        out = scale_sk_params(p, 0.25, 0.20)
+        assert out.pp_sigma > p.pp_sigma
+
+    def test_per_channel_exponents(self):
+        p = SKParams(ss_sigma=-2.0, pp_pi=-1.0)
+        out = scale_sk_params(
+            p, 0.2, 0.4, eta={"ss_sigma": 1.0, "pp_pi": 3.0}
+        )
+        assert out.ss_sigma == pytest.approx(-1.0)
+        assert out.pp_pi == pytest.approx(-0.125)
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            scale_sk_params(SKParams(), 0.0, 0.2)
+        with pytest.raises(ValueError):
+            scale_sk_params(SKParams(), 0.2, -0.1)
+
+    @given(
+        eta=st.floats(0.5, 4.0),
+        ratio=st.floats(0.8, 1.25),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scaling_law_property(self, eta, ratio):
+        p = SKParams(ss_sigma=-1.7, sp_sigma=2.1, dd_delta=-0.4)
+        d0 = 0.235
+        out = scale_sk_params(p, d0, d0 * ratio, eta=eta)
+        factor = (1.0 / ratio) ** eta
+        assert out.ss_sigma == pytest.approx(p.ss_sigma * factor)
+        assert out.sp_sigma == pytest.approx(p.sp_sigma * factor)
+        assert out.dd_delta == pytest.approx(p.dd_delta * factor)
+
+
+def _strained_silicon(strain: float) -> TBMaterial:
+    """Hydrostatically strained Si: lattice constant scaled by 1+strain,
+    integrals Harrison-rescaled to the new bond length."""
+    base = silicon_sp3s()
+    a_new = base.cell.a_nm * (1.0 + strain)
+    p = scale_sk_params(
+        base.sk_params("Si", "Si"), bond_length(base.cell.a_nm),
+        bond_length(a_new),
+    )
+    return TBMaterial(
+        name=f"Si-strained({strain:+.3f})",
+        basis=base.basis,
+        onsite=base.onsite,
+        sk={("Si", "Si"): p},
+        so_delta=base.so_delta,
+        bond_cutoff_nm=bond_length(a_new),
+        slab_length_nm=a_new,
+        cell=ZincblendeCell(a_nm=a_new, anion="Si", cation="Si"),
+    )
+
+
+class TestHydrostaticStrain:
+    def test_compression_widens_x_gap(self):
+        """Hydrostatic compression increases the Si hopping strengths and
+        moves the X-valley gap up (positive gap deformation response in
+        the Harrison-scaled sp3s* model)."""
+        be0 = bulk_band_edges(silicon_sp3s(), n_samples=41)
+        be_c = bulk_band_edges(_strained_silicon(-0.01), n_samples=41)
+        be_t = bulk_band_edges(_strained_silicon(+0.01), n_samples=41)
+        assert be_c["gap"] != pytest.approx(be0["gap"], abs=1e-4)
+        # the response is monotone through zero strain
+        assert (be_c["gap"] - be0["gap"]) * (be_t["gap"] - be0["gap"]) < 0
+
+    def test_strained_device_hamiltonian(self):
+        """strain_eta rescales bonds in an explicitly strained structure."""
+        si = silicon_sp3s()
+        cell = si.cell
+        wire = zincblende_nanowire(cell, 3, 1, 1)
+        # compress the whole structure by 2%
+        compressed = wire.take(range(wire.n_atoms))
+        compressed.positions *= 0.98
+        dev0 = partition_into_slabs(wire, cell.a_nm, si.bond_cutoff_nm)
+        dev1 = partition_into_slabs(
+            compressed, cell.a_nm * 0.98, si.bond_cutoff_nm * 0.98 / 0.98
+        )
+        H_unstrained = build_device_hamiltonian(dev0, si)
+        H_scaled = build_device_hamiltonian(dev1, si, strain_eta=2.0)
+        # compressed bonds -> stronger hoppings
+        h0 = np.abs(H_unstrained.upper[0]).max()
+        h1 = np.abs(H_scaled.upper[0]).max()
+        assert h1 > h0 * 1.02
+
+    def test_strain_eta_none_ignores_geometry(self):
+        si = silicon_sp3s()
+        cell = si.cell
+        wire = zincblende_nanowire(cell, 3, 1, 1)
+        compressed = wire.take(range(wire.n_atoms))
+        compressed.positions *= 0.98
+        dev1 = partition_into_slabs(compressed, cell.a_nm * 0.98, si.bond_cutoff_nm)
+        H_plain = build_device_hamiltonian(dev1, si, strain_eta=None)
+        dev0 = partition_into_slabs(wire, cell.a_nm, si.bond_cutoff_nm)
+        H_ref = build_device_hamiltonian(dev0, si)
+        np.testing.assert_allclose(
+            np.abs(H_plain.upper[0]), np.abs(H_ref.upper[0]), atol=1e-10
+        )

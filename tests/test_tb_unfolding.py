@@ -1,0 +1,113 @@
+"""Tests for Brillouin-zone unfolding (Boykin's effective-band method)."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import partition_into_slabs, rectangular_grid_device
+from repro.physics.constants import effective_mass_hopping
+from repro.tb import build_device_hamiltonian, single_band_material
+from repro.tb.chain import chain_dispersion
+from repro.tb.unfolding import UnfoldedBands, unfold_supercell_bands
+
+A = 0.25
+M_REL = 0.3
+
+
+def chain_supercell(n_cells, n_yz=1, onsite_noise=None, seed=0):
+    """An n_cells-periodic supercell of the single-band chain/wire."""
+    mat = single_band_material(m_rel=M_REL, spacing_nm=A, n_dim=1 if n_yz == 1 else 3)
+    s = rectangular_grid_device(A, 2 * n_cells, n_yz, n_yz)
+    dev = partition_into_slabs(s, A * n_cells, A)
+    pot = None
+    if onsite_noise is not None:
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(-onsite_noise, onsite_noise, dev.slab_size(0))
+        pot = np.tile(base, dev.n_slabs)  # periodic disorder realisation
+    H = build_device_hamiltonian(dev, mat, potential=pot)
+    xs = dev.slab_structure(0).positions[:, 0]
+    return H.diagonal[0], H.upper[0], xs, dev
+
+
+class TestPeriodicUnfolding:
+    def test_weights_sum_to_one(self):
+        h00, h01, xs, _ = chain_supercell(4)
+        out = unfold_supercell_bands(h00, h01, xs, 1, 4, 4 * A, n_K=6)
+        np.testing.assert_allclose(out.weights.sum(axis=2), 1.0, atol=1e-10)
+
+    def test_exact_primitive_dispersion_recovered(self):
+        """High-weight unfolded states lie exactly on the chain dispersion."""
+        h00, h01, xs, _ = chain_supercell(4)
+        out = unfold_supercell_bands(h00, h01, xs, 1, 4, 4 * A, n_K=6)
+        ks, es = out.effective_bands(weight_cut=0.9)
+        assert ks.size >= 8
+        t = effective_mass_hopping(M_REL, A)
+        np.testing.assert_allclose(
+            es, chain_dispersion(ks, 2 * t, t, A), atol=1e-10
+        )
+
+    def test_nondegenerate_states_one_hot(self):
+        """Away from folded-band degeneracies every state unfolds onto a
+        single primitive momentum."""
+        h00, h01, xs, _ = chain_supercell(3)
+        out = unfold_supercell_bands(h00, h01, xs, 1, 3, 3 * A, n_K=5)
+        for iK in range(out.energies.shape[0]):
+            ev = out.energies[iK]
+            gaps = np.abs(np.subtract.outer(ev, ev)) + np.eye(ev.size)
+            nondeg = gaps.min(axis=1) > 1e-6
+            w = out.weights[iK][nondeg]
+            if w.size:
+                np.testing.assert_allclose(w.max(axis=1), 1.0, atol=1e-8)
+
+    def test_k_points_inside_primitive_bz(self):
+        h00, h01, xs, _ = chain_supercell(4)
+        out = unfold_supercell_bands(h00, h01, xs, 1, 4, 4 * A, n_K=4)
+        assert np.all(out.k_points <= np.pi / A + 1e-9)
+        assert np.all(out.k_points >= -np.pi / A - 1e-9)
+
+    def test_wire_cross_section_channels(self):
+        """Transverse orbitals unfold independently (3D wire supercell)."""
+        h00, h01, xs, _ = chain_supercell(3, n_yz=2)
+        out = unfold_supercell_bands(h00, h01, xs, 1, 3, 3 * A, n_K=4)
+        np.testing.assert_allclose(out.weights.sum(axis=2), 1.0, atol=1e-9)
+
+
+class TestDisorderedUnfolding:
+    def test_disorder_spreads_weights(self):
+        """On-site disorder broadens the effective bands: sharp (weight >
+        0.99) states disappear while the periodic supercell keeps them."""
+        h00p, h01p, xs, _ = chain_supercell(4)
+        clean = unfold_supercell_bands(h00p, h01p, xs, 1, 4, 4 * A, n_K=5)
+        h00d, h01d, xsd, _ = chain_supercell(4, onsite_noise=0.8, seed=3)
+        dirty = unfold_supercell_bands(h00d, h01d, xsd, 1, 4, 4 * A, n_K=5)
+        n_sharp_clean = int((clean.weights.max(axis=2) > 0.99).sum())
+        n_sharp_dirty = int((dirty.weights.max(axis=2) > 0.99).sum())
+        assert n_sharp_clean >= 10
+        assert n_sharp_dirty < n_sharp_clean // 2
+        # normalisation survives disorder
+        np.testing.assert_allclose(dirty.weights.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_effective_bands_thin_out_with_disorder(self):
+        h00d, h01d, xsd, _ = chain_supercell(4, onsite_noise=1.0, seed=5)
+        dirty = unfold_supercell_bands(h00d, h01d, xsd, 1, 4, 4 * A, n_K=5)
+        ks, _ = dirty.effective_bands(weight_cut=0.95)
+        total_states = dirty.energies.size
+        assert ks.size < total_states  # some states no longer sharp
+
+
+class TestValidation:
+    def test_size_mismatch(self):
+        h00, h01, xs, _ = chain_supercell(4)
+        with pytest.raises(ValueError):
+            unfold_supercell_bands(h00, h01, xs, 2, 4, 4 * A)
+
+    def test_bad_cells(self):
+        h00, h01, xs, _ = chain_supercell(4)
+        with pytest.raises(ValueError):
+            unfold_supercell_bands(h00, h01, xs, 1, 0, 4 * A)
+
+    def test_effective_bands_api(self):
+        h00, h01, xs, _ = chain_supercell(3)
+        out = unfold_supercell_bands(h00, h01, xs, 1, 3, 3 * A, n_K=3)
+        assert isinstance(out, UnfoldedBands)
+        ks, es = out.effective_bands(0.5)
+        assert ks.shape == es.shape

@@ -1,0 +1,98 @@
+"""Current-conservation invariants of the wave-function kernel.
+
+Coherent ballistic transport conserves the probability current: the
+left-injected current through EVERY slab interface equals the transmission.
+This is the sharpest internal consistency check of a transport code — any
+bookkeeping error in the Hamiltonian, the self-energies or the scattering
+states breaks it.  Verified here deterministically and under
+hypothesis-generated random potentials.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import partition_into_slabs, rectangular_grid_device
+from repro.tb import (
+    BlockTridiagonalHamiltonian,
+    build_device_hamiltonian,
+    single_band_material,
+)
+from repro.tb.chain import chain_blocks
+from repro.wf import WFSolver
+
+
+def chain(n, pot=None):
+    return BlockTridiagonalHamiltonian(*chain_blocks(n, 0.0, 1.0, pot))
+
+
+class TestChainConservation:
+    def test_equals_transmission_everywhere(self):
+        pot = np.zeros(12)
+        pot[4:8] = 0.8
+        res = WFSolver(chain(12, pot), eta=1e-10).solve(0.4)
+        np.testing.assert_allclose(
+            res.interface_currents, res.transmission, rtol=1e-10
+        )
+
+    def test_clean_chain_unit_current(self):
+        res = WFSolver(chain(8), eta=1e-10).solve(0.3)
+        np.testing.assert_allclose(res.interface_currents, 1.0, atol=1e-8)
+
+    def test_spread_property(self):
+        res = WFSolver(chain(10), eta=1e-10).solve(-0.5)
+        assert res.interface_current_spread < 1e-12
+
+    def test_evanescent_zero_current(self):
+        res = WFSolver(chain(8), eta=1e-10).solve(5.0)
+        np.testing.assert_allclose(res.interface_currents, 0.0, atol=1e-10)
+
+    @given(
+        seed=st.integers(0, 500),
+        energy=st.floats(-1.8, 1.8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_potential_conservation(self, seed, energy):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(6, 20))
+        pot = np.zeros(n)
+        pot[1:-1] = rng.uniform(-0.5, 1.5, n - 2)
+        pot[0] = pot[-1] = 0.0  # flat contacts
+        res = WFSolver(chain(n, pot), eta=1e-11).solve(energy)
+        assert res.interface_current_spread < 1e-7
+        assert res.interface_currents[0] == pytest.approx(
+            res.transmission, abs=1e-7
+        )
+        assert res.transmission >= -1e-10
+
+
+class TestGridConservation:
+    def make(self, barrier):
+        mat = single_band_material(m_rel=0.3, spacing_nm=0.3)
+        s = rectangular_grid_device(0.3, 7, 2, 2)
+        dev = partition_into_slabs(s, 0.3, 0.3)
+        pot = np.zeros(s.n_atoms)
+        slab = dev.slab_of_atom()
+        pot[(slab >= 3) & (slab <= 4)] = barrier
+        return build_device_hamiltonian(dev, mat, potential=pot)
+
+    @pytest.mark.parametrize("barrier", [0.0, 0.2, 0.8])
+    def test_3d_device_conservation(self, barrier):
+        H = self.make(barrier)
+        res = WFSolver(H, eta=1e-9).solve(0.7)
+        assert res.interface_current_spread < 1e-7
+        np.testing.assert_allclose(
+            res.interface_currents, res.transmission, atol=1e-7
+        )
+
+    def test_multichannel_current(self):
+        H = self.make(0.0)
+        res = WFSolver(H, eta=1e-9).solve(5.7)
+        assert res.transmission > 1.5  # several channels open
+        assert res.interface_current_spread < 1e-6
+
+    def test_economical_mode_still_conserves(self):
+        H = self.make(0.3)
+        res = WFSolver(H, eta=1e-9, injection_tol_ev=1e-4).solve(0.8)
+        assert res.interface_current_spread < 1e-6
