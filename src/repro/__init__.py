@@ -18,6 +18,7 @@ wf        wave-function (QTBM) scattering-state transport
 poisson   finite-volume nonlinear electrostatics
 parallel  communicator abstraction and the 4-level work scheduler
 perf      flop accounting and the simulated-machine performance model
+resilience fault injection, retry/rescue ladders, checkpoint/restart
 core      device specs, transport facade, SCF driver, I-V engine
 io        device spec and result (de)serialisation
 """
@@ -34,6 +35,7 @@ from . import (  # noqa: F401
     phonons,
     physics,
     poisson,
+    resilience,
     solvers,
     tb,
     wf,
@@ -49,6 +51,7 @@ __all__ = [
     "phonons",
     "physics",
     "poisson",
+    "resilience",
     "solvers",
     "tb",
     "wf",

@@ -47,6 +47,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--method", choices=("wf", "rgf"), default="wf")
     p_sweep.add_argument("--n-energy", type=int, default=81)
     p_sweep.add_argument("-o", "--output")
+    p_sweep.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="atomically checkpoint completed points to this npz file",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint, recomputing only missing points",
+    )
+    p_sweep.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per bias point for faulted solves",
+    )
+    p_sweep.add_argument(
+        "--inject-faults", type=int, metavar="SEED", default=None,
+        help="fault drill: deterministically inject faults with this seed",
+    )
+    p_sweep.add_argument(
+        "--fault-rate", type=float, default=0.25,
+        help="per-bias-point fault probability for --inject-faults",
+    )
 
     p_bands = sub.add_parser("bands", help="bulk band summary of a material")
     p_bands.add_argument("material", help="registry name, e.g. Si-sp3s*")
@@ -107,21 +127,40 @@ def _cmd_sweep(args) -> int:
         subthreshold_swing_mv_dec,
     )
     from .io import format_si, format_table, save_json
+    from .resilience import FaultInjector, RetryPolicy
 
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
     built = _load_built(args.spec)
     transport = TransportCalculation(
         built, method=args.method, n_energy=args.n_energy
     )
-    sweep = IVSweep(SelfConsistentSolver(built, transport))
+    injector = None
+    if args.inject_faults is not None:
+        injector = FaultInjector(
+            seed=args.inject_faults,
+            rate=args.fault_rate,
+            actions=("raise", "nan"),
+            sites=("bias",),
+        )
+    sweep = IVSweep(
+        SelfConsistentSolver(built, transport),
+        retry=RetryPolicy(max_retries=args.max_retries),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        injector=injector,
+    )
     vgs = np.linspace(args.vg_start, args.vg_stop, args.vg_points)
     curve = sweep.transfer_curve(vgs, v_drain=args.vd)
     rows = [
         (f"{p.v_gate:+.3f}", format_si(p.current_a, "A"),
-         "yes" if p.converged else "NO")
+         "yes" if p.converged else "NO",
+         "+".join(p.recovery) if p.recovery else "-")
         for p in curve.points
     ]
     print(format_table(
-        ["V_G (V)", "I_D", "converged"], rows,
+        ["V_G (V)", "I_D", "converged", "recovery"], rows,
         title=f"{built.spec.name}: transfer sweep at V_D = {args.vd} V",
     ))
     try:
@@ -130,12 +169,14 @@ def _cmd_sweep(args) -> int:
     except ValueError:
         pass
     print(f"on/off ratio: {curve.on_off_ratio():.3e}")
+    print(curve.report.summary())
     if args.output:
         save_json(
             {
                 "v_drain": args.vd,
                 "points": curve.points,
                 "counted_flops": curve.flops.total,
+                "resilience": curve.report.to_dict(),
             },
             args.output,
         )

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import NumericalBreakdownError, RankFailure, TaskFailure
 from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
 from ..parallel.decomposition import Decomposition, choose_level_sizes
 from ..physics.grids import EnergyGrid
@@ -81,12 +82,32 @@ class DistributedTransport:
         grid: EnergyGrid,
         potential_ev: np.ndarray,
         v_drain: float,
+        tasks=None,
+        injector=None,
+        retry=None,
+        report=None,
     ) -> PartialObservables:
         """Solve this rank's task share and integrate its partial sums.
 
         The quadrature weights make per-task contributions additive: each
         (k, E) task contributes ``w_k * w_E * (...)`` to every observable,
         so partial sums reduce with a plain ``sum`` across ranks.
+
+        Parameters
+        ----------
+        tasks : list of WorkItem or None
+            Explicit task list; None means this rank's own block-cyclic
+            share.  An explicit list is how a surviving rank reclaims a
+            dead rank's work (the requeue path of :meth:`solve_bias`).
+        injector : repro.resilience.FaultInjector or None
+            Fired at site ``"rank"`` on entry (dead-rank simulation) and
+            at site ``"task"`` with key (k_index, energy_index) per solve.
+        retry : repro.resilience.RetryPolicy or None
+            Per-task retry for faulted/NaN solves.  Exhausted retries
+            raise :class:`repro.errors.TaskFailure` — a (k, E) quadrature
+            point cannot be silently dropped without corrupting the
+            reduced observables.
+        report : repro.resilience.ResilienceReport or None
         """
         calc = self.calc
         built = calc.built
@@ -96,12 +117,16 @@ class DistributedTransport:
         kgrid = built.momentum_grid
         n_orb = built.material.orbitals_per_atom
 
-        tasks = decomp.tasks_of_rank(rank)
+        if injector is not None:
+            injector.fire("rank", rank)
+        if tasks is None:
+            tasks = decomp.tasks_of_rank(rank)
         current = 0.0
         density = np.zeros(built.n_atoms)
         solvers: dict[int, object] = {}
-        for task in tasks:
-            ik, ie = task.k_index, task.energy_index
+
+        def solve_task(ik: int, ie: int) -> tuple[float, np.ndarray]:
+            """One (k, E) contribution: (w_k-weighted current, density)."""
             if ik not in solvers:
                 H = calc.hamiltonian(potential_ev, float(kgrid.k_points[ik]))
                 solvers[ik] = calc._make_solver(H)
@@ -118,19 +143,55 @@ class DistributedTransport:
                 mu_s, mu_d, kT,
                 spin_degeneracy=calc.spin_degeneracy,
             )
-            density += w * orbital_to_atom(n_orbital, n_orb)
-            current += (
-                float(kgrid.weights[ik])
-                * landauer_current(
-                    EnergyGrid(
-                        np.array([grid.energies[ie]]),
-                        np.array([grid.weights[ie]]),
-                    ),
-                    np.array([res.transmission]),
-                    mu_s, mu_d, kT,
-                    spin_degeneracy=calc.spin_degeneracy,
-                )
+            dens = w * orbital_to_atom(n_orbital, n_orb)
+            curr = float(kgrid.weights[ik]) * landauer_current(
+                EnergyGrid(
+                    np.array([grid.energies[ie]]),
+                    np.array([grid.weights[ie]]),
+                ),
+                np.array([res.transmission]),
+                mu_s, mu_d, kT,
+                spin_degeneracy=calc.spin_degeneracy,
             )
+            return curr, dens
+
+        for task in tasks:
+            ik, ie = task.k_index, task.energy_index
+            if injector is None and retry is None:
+                curr, dens = solve_task(ik, ie)
+            else:
+                key = (ik, ie)
+
+                def attempt(attempt_number: int, _ik=ik, _ie=ie, _key=key):
+                    mode = (
+                        injector.fire("task", _key)
+                        if injector is not None
+                        else None
+                    )
+                    curr, dens = solve_task(_ik, _ie)
+                    if mode == "nan":
+                        curr, dens = float("nan"), np.full_like(dens, np.nan)
+                    if not np.isfinite(curr) or not np.all(np.isfinite(dens)):
+                        raise NumericalBreakdownError(
+                            f"non-finite observables at (k,E) task {_key}",
+                            injected=(mode == "nan"),
+                        )
+                    return curr, dens
+
+                try:
+                    if retry is not None:
+                        curr, dens = retry.run(attempt, report=report)
+                    else:
+                        curr, dens = attempt(0)
+                except (TaskFailure, NumericalBreakdownError) as exc:
+                    raise TaskFailure(
+                        f"(k,E) task {key} failed permanently on rank {rank}: "
+                        f"{exc}",
+                        key=key,
+                        injected=bool(getattr(exc, "injected", False)),
+                    ) from exc
+            current += curr
+            density += dens
         return PartialObservables(
             current_a=current, density_per_atom=density, n_tasks=len(tasks)
         )
@@ -142,6 +203,9 @@ class DistributedTransport:
         v_drain: float,
         comm,
         n_ranks: int | None = None,
+        injector=None,
+        retry=None,
+        report=None,
     ) -> dict:
         """SPMD entry point: every rank calls this with its communicator.
 
@@ -150,6 +214,14 @@ class DistributedTransport:
         equivalent of the MPI run, used for testing and small problems.
         With a real MPI communicator (same duck type), each rank computes
         only its share and ``allreduce`` combines them.
+
+        Fault tolerance: when a representative rank dies
+        (:class:`repro.errors.RankFailure`, organic or injected), a
+        surviving rank reclaims the dead rank's *exact* task list via the
+        explicit-``tasks`` path of :meth:`rank_partial`.  Because the
+        reclaimed list is solved in the same order and reduced at the same
+        position, the summed observables are bit-identical to the
+        fault-free run.
 
         Returns a dict with ``current_a``, ``density_per_atom`` and
         ``n_tasks_total``.
@@ -160,10 +232,31 @@ class DistributedTransport:
         if comm.Get_size() == 1:
             # serial backend: execute one representative rank per (k, E)
             # group (spatial peers share tasks) and reduce locally
-            partials = [
-                self.rank_partial(r, decomp, grid, potential_ev, v_drain)
-                for r in range(0, decomp.n_ranks, spatial)
-            ]
+            representatives = list(range(0, decomp.n_ranks, spatial))
+            partials = []
+            for i, r in enumerate(representatives):
+                try:
+                    p = self.rank_partial(
+                        r, decomp, grid, potential_ev, v_drain,
+                        injector=injector, retry=retry, report=report,
+                    )
+                except RankFailure:
+                    # requeue: a survivor reclaims the dead rank's tasks,
+                    # preserving task order (and hence bit-identical sums)
+                    survivor = representatives[
+                        (i + 1) % len(representatives)
+                    ]
+                    if report is not None:
+                        report.rank_failures += 1
+                        report.record_fallback("rank:requeue")
+                    p = self.rank_partial(
+                        survivor, decomp, grid, potential_ev, v_drain,
+                        tasks=decomp.tasks_of_rank(r),
+                        injector=injector, retry=retry, report=report,
+                    )
+                    if report is not None:
+                        report.requeued_tasks += p.n_tasks
+                partials.append(p)
             current = sum(p.current_a for p in partials)
             density = np.sum([p.density_per_atom for p in partials], axis=0)
             n_tasks = sum(p.n_tasks for p in partials)

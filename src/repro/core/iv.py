@@ -6,15 +6,27 @@ solver over a grid of gate/drain voltages with warm starts (the converged
 potential of the previous bias seeds the next), extracts the standard FET
 figures of merit (subthreshold swing, on/off ratio, threshold voltage) and
 exposes the bias list as parallel work items for the level-1 scheduler.
+
+The sweep is crash-survivable: every completed point (plus the warm-start
+potential) is checkpointed atomically, a killed sweep resumes by
+recomputing only the missing points, non-converged points — including a
+cold first point — are routed through the
+:class:`repro.resilience.SCFRescue` ladder, and injected/organic faults
+are retried and accounted on the curve's
+:class:`repro.resilience.ResilienceReport`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from ..errors import NumericalBreakdownError, TaskFailure
 from ..perf.flops import FlopCounter
+from ..resilience import ResilienceReport, SCFRescue, SweepCheckpoint
+from ..resilience.faults import non_finite
 from .scf import SCFResult, SelfConsistentSolver
 
 __all__ = ["IVPoint", "IVCurve", "IVSweep", "subthreshold_swing_mv_dec"]
@@ -22,13 +34,46 @@ __all__ = ["IVPoint", "IVCurve", "IVSweep", "subthreshold_swing_mv_dec"]
 
 @dataclass
 class IVPoint:
-    """One bias point of a characteristic."""
+    """One bias point of a characteristic.
+
+    ``recovery`` names the resilience paths the point took, in order —
+    empty for a clean first-attempt convergence, e.g.
+    ``("cold-restart", "beta-halved")`` for a ladder rescue, or
+    ``("quarantined",)`` when every policy failed.
+    """
 
     v_gate: float
     v_drain: float
     current_a: float
     converged: bool
     n_iterations: int
+    recovery: tuple = ()
+
+
+def _point_to_dict(point: IVPoint) -> dict:
+    return {
+        "v_gate": point.v_gate,
+        "v_drain": point.v_drain,
+        "current_a": point.current_a,
+        "converged": bool(point.converged),
+        "n_iterations": int(point.n_iterations),
+        "recovery": list(point.recovery),
+    }
+
+
+def _point_from_dict(data: dict) -> IVPoint:
+    return IVPoint(
+        v_gate=float(data["v_gate"]),
+        v_drain=float(data["v_drain"]),
+        current_a=float(data["current_a"]),
+        converged=bool(data["converged"]),
+        n_iterations=int(data["n_iterations"]),
+        recovery=tuple(data.get("recovery", ())),
+    )
+
+
+def _bias_key(v_gate: float, v_drain: float) -> tuple:
+    return (round(float(v_gate), 9), round(float(v_drain), 9))
 
 
 @dataclass
@@ -37,6 +82,7 @@ class IVCurve:
 
     points: list = field(default_factory=list)
     flops: FlopCounter = field(default_factory=FlopCounter)
+    report: ResilienceReport = field(default_factory=ResilienceReport)
 
     def currents(self) -> np.ndarray:
         """Currents (A) in sweep order."""
@@ -94,65 +140,181 @@ def subthreshold_swing_mv_dec(
 
 
 class IVSweep:
-    """Bias sweep driver with warm starts.
+    """Bias sweep driver with warm starts, rescue ladders and checkpoints.
 
     Parameters
     ----------
     scf : SelfConsistentSolver
         Configured bias-point solver.
+    rescue : SCFRescue, None or "default"
+        Ladder for non-converged points (including a cold *first* point,
+        which previously slipped through with no retry at all); None
+        disables rescue.
+    retry : repro.resilience.RetryPolicy or None
+        Retry budget for bias points that *fail* (raise / NaN observable)
+        rather than merely not converging.
+    checkpoint : SweepCheckpoint, path or None
+        Where to persist completed points atomically after each bias.
+    resume : bool
+        Load an existing checkpoint and recompute only missing points
+        (False starts fresh, clearing any stale checkpoint).
+    injector : repro.resilience.FaultInjector or None
+        Fired at site ``"bias"`` before each point attempt (fault drills).
     """
 
-    def __init__(self, scf: SelfConsistentSolver):
+    def __init__(
+        self,
+        scf: SelfConsistentSolver,
+        rescue="default",
+        retry=None,
+        checkpoint=None,
+        resume: bool = False,
+        injector=None,
+    ):
         self.scf = scf
+        self.rescue = SCFRescue() if rescue == "default" else rescue
+        self.retry = retry
+        if isinstance(checkpoint, (str, Path)):
+            checkpoint = SweepCheckpoint(checkpoint)
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.injector = injector
 
+    # ------------------------------------------------------------------
+    def _solve_point(
+        self, v_gate: float, v_drain: float, phi_warm, report: ResilienceReport
+    ):
+        """One resilient bias point -> (IVPoint, phi | None, FlopCounter)."""
+        key = _bias_key(v_gate, v_drain)
+        flops = FlopCounter()
+        recovery: list[str] = []
+        used_warm_start = phi_warm is not None
+
+        def attempt(attempt_number: int) -> SCFResult:
+            mode = (
+                self.injector.fire("bias", key)
+                if self.injector is not None
+                else None
+            )
+            result = self.scf.run(v_gate, v_drain, phi0=phi_warm)
+            flops.merge(result.flops)
+            if mode == "nan":
+                raise NumericalBreakdownError(
+                    f"injected NaN observable at bias {key}", injected=True
+                )
+            if non_finite(result.transport.current_a) or non_finite(
+                result.transport.density_per_atom
+            ):
+                raise NumericalBreakdownError(
+                    f"non-finite observables at bias {key}"
+                )
+            return result
+
+        try:
+            if self.retry is not None:
+                retries_before = report.retries
+                result = self.retry.run(attempt, report=report)
+                used = report.retries - retries_before
+                if used:
+                    recovery.append(f"retry*{used}")
+            else:
+                result = attempt(0)
+        except (TaskFailure, NumericalBreakdownError) as exc:
+            if self.retry is None:
+                report.record_fault(
+                    injected=bool(getattr(exc, "injected", False))
+                )
+            report.quarantined.append(key)
+            point = IVPoint(
+                v_gate=float(v_gate),
+                v_drain=float(v_drain),
+                current_a=float("nan"),
+                converged=False,
+                n_iterations=0,
+                recovery=tuple(recovery) + ("quarantined",),
+            )
+            return point, None, flops
+
+        if not result.converged and self.rescue is not None:
+            rescued, path = self.rescue.run(
+                self.scf,
+                v_gate,
+                v_drain,
+                used_warm_start=used_warm_start,
+                report=report,
+            )
+            flops.merge(rescued.flops)
+            recovery.extend(path)
+            if rescued.converged or not result.residuals or (
+                rescued.residuals
+                and rescued.residuals[-1] < result.residuals[-1]
+            ):
+                result = rescued
+
+        if recovery and result.converged:
+            report.degraded_points.append(key)
+        if not result.converged:
+            report.unconverged_points.append(key)
+        point = IVPoint(
+            v_gate=float(v_gate),
+            v_drain=float(v_drain),
+            current_a=result.transport.current_a,
+            converged=result.converged,
+            n_iterations=result.n_iterations,
+            recovery=tuple(recovery),
+        )
+        return point, result.phi, flops
+
+    def _sweep(self, bias_pairs, warm_start: bool, meta: dict) -> IVCurve:
+        curve = IVCurve()
+        report = curve.report
+        phi = None
+        completed: dict = {}
+        if self.checkpoint is not None:
+            if self.resume:
+                state = self.checkpoint.load()
+                if state is not None:
+                    completed = self.checkpoint.completed_keys(state)
+                    phi = state["phi"]
+            else:
+                self.checkpoint.clear()
+        for v_gate, v_drain in bias_pairs:
+            key = _bias_key(v_gate, v_drain)
+            if key in completed:
+                curve.points.append(_point_from_dict(completed[key]))
+                report.resumed_points += 1
+                continue
+            point, phi_new, flops = self._solve_point(
+                v_gate, v_drain, phi, report
+            )
+            curve.points.append(point)
+            curve.flops.merge(flops)
+            if warm_start and phi_new is not None:
+                phi = phi_new
+            if self.checkpoint is not None:
+                self.checkpoint.save(
+                    [_point_to_dict(p) for p in curve.points],
+                    phi,
+                    meta=meta,
+                )
+        return curve
+
+    # ------------------------------------------------------------------
     def transfer_curve(
         self, gate_voltages, v_drain: float, warm_start: bool = True
     ) -> IVCurve:
         """Id-Vg at fixed drain bias."""
-        curve = IVCurve()
-        phi = None
-        for vg in gate_voltages:
-            result = self.scf.run(float(vg), float(v_drain), phi0=phi)
-            if not result.converged and phi is not None:
-                # a stale warm start can trap the iteration; retry cold
-                result = self.scf.run(float(vg), float(v_drain))
-            if warm_start:
-                phi = result.phi
-            curve.points.append(
-                IVPoint(
-                    v_gate=float(vg),
-                    v_drain=float(v_drain),
-                    current_a=result.transport.current_a,
-                    converged=result.converged,
-                    n_iterations=result.n_iterations,
-                )
-            )
-            curve.flops.merge(result.flops)
-        return curve
+        pairs = [(float(vg), float(v_drain)) for vg in gate_voltages]
+        meta = {"kind": "transfer", "v_drain": float(v_drain)}
+        return self._sweep(pairs, warm_start, meta)
 
     def output_curve(
         self, v_gate: float, drain_voltages, warm_start: bool = True
     ) -> IVCurve:
         """Id-Vd at fixed gate bias."""
-        curve = IVCurve()
-        phi = None
-        for vd in drain_voltages:
-            result = self.scf.run(float(v_gate), float(vd), phi0=phi)
-            if not result.converged and phi is not None:
-                result = self.scf.run(float(v_gate), float(vd))
-            if warm_start:
-                phi = result.phi
-            curve.points.append(
-                IVPoint(
-                    v_gate=float(v_gate),
-                    v_drain=float(vd),
-                    current_a=result.transport.current_a,
-                    converged=result.converged,
-                    n_iterations=result.n_iterations,
-                )
-            )
-            curve.flops.merge(result.flops)
-        return curve
+        pairs = [(float(v_gate), float(vd)) for vd in drain_voltages]
+        meta = {"kind": "output", "v_gate": float(v_gate)}
+        return self._sweep(pairs, warm_start, meta)
 
     def bias_work_items(self, gate_voltages, drain_voltages) -> list:
         """(v_gate, v_drain) tuples — the level-1 parallel work list."""

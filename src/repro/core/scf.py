@@ -15,10 +15,12 @@ iteration, Anderson vs plain mixing) are experiment F7.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import SCFConvergenceError
 from ..perf.flops import FlopCounter
 from ..poisson.charge import QuantumCorrectedCharge, SemiclassicalCharge
 from ..poisson.nonlinear import AndersonMixer, NonlinearPoisson
@@ -66,13 +68,22 @@ class SelfConsistentSolver:
     transport : TransportCalculation or None
         Defaults to a WF calculation with standard settings.
     tol_v : float
-        Convergence threshold on max|delta phi| (V).
+        Convergence threshold on max|delta phi| (V); must be > 0.
     max_iterations : int
+        Outer-iteration budget; must be >= 1.
     mixing : {"anderson", "linear"}
         Outer-loop accelerator (ablated in experiment F7).
     beta : float
-        Mixing damping.
+        Mixing damping; must be > 0.
     """
+
+    #: Gate voltages within this resolution (V) share one cached Poisson
+    #: solver — well below tol_v, so physically indistinguishable biases
+    #: (e.g. 0.1 vs 0.1 + 1e-12 from linspace arithmetic) hit the cache.
+    GATE_CACHE_RESOLUTION_V = 1e-6
+    #: Cache cap: long multi-gate sweeps evict least-recently-used solvers
+    #: instead of growing without bound.
+    MAX_CACHED_POISSON_SOLVERS = 8
 
     def __init__(
         self,
@@ -85,6 +96,12 @@ class SelfConsistentSolver:
     ):
         if mixing not in ("anderson", "linear"):
             raise ValueError("mixing must be 'anderson' or 'linear'")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not tol_v > 0:
+            raise ValueError("tol_v must be positive")
+        if not beta > 0:
+            raise ValueError("beta must be positive")
         self.built = built
         self.transport = transport or TransportCalculation(built)
         self.tol_v = tol_v
@@ -95,19 +112,32 @@ class SelfConsistentSolver:
         self._donor_nodes = grid.deposit(
             built.device.structure.positions, built.donors_per_atom
         ) / grid.node_volume()
-        self._poisson = {}  # one NonlinearPoisson per gate voltage
+        # LRU cache of NonlinearPoisson solvers keyed on *rounded* gate
+        # voltage (raw floats would miss for near-equal biases and grow
+        # unboundedly over long sweeps)
+        self._poisson: OrderedDict = OrderedDict()
 
     # ------------------------------------------------------------------
+    def _gate_key(self, v_gate: float) -> float:
+        resolution = self.GATE_CACHE_RESOLUTION_V
+        return round(round(float(v_gate) / resolution) * resolution, 12)
+
     def _poisson_solver(self, v_gate: float) -> NonlinearPoisson:
-        if v_gate not in self._poisson:
-            self._poisson[v_gate] = NonlinearPoisson(
-                self.built.poisson_grid,
-                self.built.eps_r,
-                self._donor_nodes,
-                dirichlet_mask=self.built.gate_mask,
-                dirichlet_values=v_gate,
-            )
-        return self._poisson[v_gate]
+        key = self._gate_key(v_gate)
+        if key in self._poisson:
+            self._poisson.move_to_end(key)
+            return self._poisson[key]
+        solver = NonlinearPoisson(
+            self.built.poisson_grid,
+            self.built.eps_r,
+            self._donor_nodes,
+            dirichlet_mask=self.built.gate_mask,
+            dirichlet_values=v_gate,
+        )
+        self._poisson[key] = solver
+        while len(self._poisson) > self.MAX_CACHED_POISSON_SOLVERS:
+            self._poisson.popitem(last=False)
+        return solver
 
     def initial_potential(self, v_gate: float, v_drain: float) -> np.ndarray:
         """Semiclassical equilibrium guess plus a linear drain ramp."""
@@ -142,6 +172,7 @@ class SelfConsistentSolver:
         v_drain: float,
         phi0: np.ndarray | None = None,
         continuation_step: float = 0.12,
+        ramp_checkpoint=None,
     ) -> SCFResult:
         """Iterate to self-consistency at one (V_G, V_D) bias point.
 
@@ -150,6 +181,11 @@ class SelfConsistentSolver:
         the next (standard bias stepping — the high-bias fixed point is
         only reachable from nearby potentials).  Pass
         ``continuation_step=0`` to disable.
+
+        ``ramp_checkpoint`` (a :class:`repro.resilience.RampCheckpoint`)
+        persists the potential after each converged ramp stage; a
+        restarted solve resumes from the last stage instead of re-ramping
+        from equilibrium, and the checkpoint is cleared on completion.
         """
         built = self.built
         grid = built.poisson_grid
@@ -164,7 +200,17 @@ class SelfConsistentSolver:
         ):
             n_steps = int(np.ceil(abs(v_drain) / continuation_step))
             phi_ramp = None
-            for step in range(1, n_steps):
+            first_step = 1
+            if ramp_checkpoint is not None:
+                stored = ramp_checkpoint.load()
+                if stored is not None:
+                    vd_reached, phi_stored = stored
+                    # resume after the last stage at or below vd_reached
+                    for step in range(1, n_steps):
+                        if v_drain * step / n_steps <= vd_reached + 1e-12:
+                            first_step = step + 1
+                            phi_ramp = phi_stored
+            for step in range(first_step, n_steps):
                 vd_step = v_drain * step / n_steps
                 stage = self.run(
                     v_gate, vd_step, phi0=phi_ramp, continuation_step=0.0
@@ -172,6 +218,8 @@ class SelfConsistentSolver:
                 phi_ramp = stage.phi
                 ramp_flops.merge(stage.flops)
                 ramp_iterations += stage.n_iterations
+                if ramp_checkpoint is not None:
+                    ramp_checkpoint.save(vd_step, phi_ramp)
             phi0 = phi_ramp
         phi = (
             self.initial_potential(v_gate, v_drain)
@@ -205,11 +253,20 @@ class SelfConsistentSolver:
                 converged = True
                 break
 
-        assert transport_result is not None
+        # max_iterations >= 1 is validated in __init__, so at least one
+        # transport solve ran (no assert — those vanish under python -O)
+        if transport_result is None:
+            raise SCFConvergenceError(
+                "SCF loop executed zero iterations",
+                v_gate=v_gate,
+                v_drain=v_drain,
+            )
         # final transport at the converged potential for reporting
         final = self.transport.solve_bias(self.atom_potential_ev(phi), v_drain)
         flops.merge(final.flops)
         flops.merge(ramp_flops)
+        if ramp_checkpoint is not None:
+            ramp_checkpoint.clear()
         return SCFResult(
             phi=phi,
             potential_ev=self.atom_potential_ev(phi),

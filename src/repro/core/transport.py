@@ -79,7 +79,7 @@ class TransportCalculation:
         Energy nodes of the integration window.
     eta : float
         Retarded infinitesimal (eV).
-    surface_method : {"sancho", "eigen"}
+    surface_method : {"sancho", "eigen", "robust"}
         Contact surface-GF algorithm.
     n_kT_window : float
         Half-width of the Fermi window in units of kT.

@@ -90,7 +90,7 @@ class RGFSolver:
         repeat the lead cell at flat potential.
     eta : float
         Retarded infinitesimal (eV).
-    surface_method : {"sancho", "eigen"}
+    surface_method : {"sancho", "eigen", "robust"}
         Surface-GF algorithm for the contacts.
     """
 

@@ -98,8 +98,10 @@ def contact_self_energy(
         lead cell, i.e. tau = h01.
     side : {"left", "right"}
         Contact side.
-    method : {"sancho", "eigen"}
-        Surface-GF algorithm.
+    method : {"sancho", "eigen", "robust"}
+        Surface-GF algorithm; ``"robust"`` is Sancho-Rubio behind the
+        resilience degradation ladder (eta escalation, then the eigen
+        fallback) instead of aborting on non-convergence.
     eta : float
         Retarded infinitesimal (eV).
     """
@@ -107,8 +109,13 @@ def contact_self_energy(
         g, _ = sancho_rubio(energy, h00, h01, side=side, eta=eta)
     elif method == "eigen":
         g = eigen_surface_gf(energy, h00, h01, side=side, eta=eta)
+    elif method == "robust":
+        # local import: repro.resilience.policies imports this package
+        from ..resilience.policies import robust_surface_gf
+
+        g, _ = robust_surface_gf(energy, h00, h01, side=side, eta=eta)
     else:
-        raise ValueError("method must be 'sancho' or 'eigen'")
+        raise ValueError("method must be 'sancho', 'eigen' or 'robust'")
     if tau is None:
         tau = h01
     tau = np.asarray(tau, dtype=complex)

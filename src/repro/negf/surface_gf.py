@@ -33,6 +33,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.linalg as sla
 
+from ..errors import SurfaceGFConvergenceError
+
 __all__ = ["sancho_rubio", "eigen_surface_gf", "lead_modes", "LeadModes"]
 
 
@@ -92,9 +94,11 @@ def sancho_rubio(
         if np.linalg.norm(alpha, ord="fro") < tol:
             break
     else:
-        raise RuntimeError(
+        raise SurfaceGFConvergenceError(
             f"Sancho-Rubio did not converge in {max_iter} iterations "
-            f"(E = {energy}, eta = {eta}); increase eta"
+            f"(E = {energy}, eta = {eta}); increase eta",
+            energy=energy,
+            eta=eta,
         )
     g = np.linalg.solve(z - eps_s, np.eye(m))
     return g, it
@@ -195,9 +199,11 @@ def lead_modes(
     if direction not in ("left", "right"):
         raise ValueError("direction must be 'left' or 'right'")
     if len(selected) != m:
-        raise RuntimeError(
+        raise SurfaceGFConvergenceError(
             f"mode selection found {len(selected)} of {m} modes; "
-            "energy may sit exactly on a band edge — increase eta"
+            "energy may sit exactly on a band edge — increase eta",
+            energy=energy,
+            eta=eta,
         )
     lam_sel = lam[selected]
     phi_sel = phis[:, selected]

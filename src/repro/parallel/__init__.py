@@ -1,6 +1,6 @@
 """Parallel runtime: communicators, 4-level decomposition, scheduling."""
 
-from .comm import CommEvent, CommTrace, SerialComm, TracedComm
+from .comm import CommEvent, CommTrace, SerialComm, TracedComm, UnreliableComm
 from .decomposition import Decomposition, WorkItem, choose_level_sizes
 from .scheduler import (
     ScheduleReport,
@@ -15,6 +15,7 @@ __all__ = [
     "CommTrace",
     "SerialComm",
     "TracedComm",
+    "UnreliableComm",
     "Decomposition",
     "WorkItem",
     "choose_level_sizes",

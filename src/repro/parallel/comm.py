@@ -17,6 +17,12 @@ Two backends are shipped:
   :class:`CommTrace`.  The performance model replays the trace against the
   simulated machine to charge communication time (substituting for the real
   221k-core runs, per DESIGN.md).
+
+For resilience testing, :class:`UnreliableComm` wraps any backend and runs
+every collective through a :class:`repro.resilience.FaultInjector` at site
+``"comm"`` — a planted ``"dead_rank"`` raises
+:class:`repro.errors.RankFailure` mid-collective, a ``"stall"`` models a
+straggling rank, exactly the failure modes a petascale job must survive.
 """
 
 from __future__ import annotations
@@ -26,7 +32,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["CommTrace", "CommEvent", "SerialComm", "TracedComm"]
+__all__ = [
+    "CommTrace",
+    "CommEvent",
+    "SerialComm",
+    "TracedComm",
+    "UnreliableComm",
+]
 
 
 @dataclass(frozen=True)
@@ -198,3 +210,72 @@ class TracedComm:
             raise ValueError(f"scatter needs a list of length {self._size}")
         self.trace.record("scatter", sum(_nbytes(o) for o in objs), self._size)
         return objs[self._rank]
+
+
+class UnreliableComm:
+    """Fault-injecting decorator around any communicator backend.
+
+    Every collective first fires the injector at site ``"comm"`` with key
+    ``(op, call_number)`` — deterministic per seed, independent of payload
+    — then delegates to the wrapped comm.  ``"raise"``/``"dead_rank"``
+    actions surface as typed exceptions for the driver's requeue logic;
+    ``"stall"`` sleeps (straggler); ``"nan"`` is meaningless for control
+    messages and passes clean.
+
+    Parameters
+    ----------
+    comm
+        Any object with the mpi4py-subset duck type of this module.
+    injector : repro.resilience.FaultInjector
+    """
+
+    def __init__(self, comm, injector):
+        self._comm = comm
+        self._injector = injector
+        self._calls = 0
+
+    def _roll(self, op: str) -> None:
+        self._calls += 1
+        self._injector.fire("comm", (op, self._calls))
+
+    def Get_rank(self) -> int:
+        """Rank of the wrapped comm."""
+        return self._comm.Get_rank()
+
+    def Get_size(self) -> int:
+        """Size of the wrapped comm."""
+        return self._comm.Get_size()
+
+    def Split(self, color: int, key: int = 0):
+        """Split the wrapped comm; the child shares the injector."""
+        return UnreliableComm(self._comm.Split(color, key), self._injector)
+
+    def barrier(self) -> None:
+        """Fault-checked barrier."""
+        self._roll("barrier")
+        self._comm.barrier()
+
+    def bcast(self, obj, root: int = 0):
+        """Fault-checked broadcast."""
+        self._roll("bcast")
+        return self._comm.bcast(obj, root)
+
+    def gather(self, obj, root: int = 0):
+        """Fault-checked gather."""
+        self._roll("gather")
+        return self._comm.gather(obj, root)
+
+    def allgather(self, obj):
+        """Fault-checked allgather."""
+        self._roll("allgather")
+        return self._comm.allgather(obj)
+
+    def allreduce(self, value, op: str = "sum"):
+        """Fault-checked allreduce."""
+        self._roll("allreduce")
+        return self._comm.allreduce(value, op)
+
+    def scatter(self, objs, root: int = 0):
+        """Fault-checked scatter."""
+        self._roll("scatter")
+        return self._comm.scatter(objs, root)

@@ -1,4 +1,4 @@
-"""Task scheduling and load balancing for the (k, E) work pool.
+"""Task scheduling, load balancing and resilient execution of the work pool.
 
 Two schedulers are provided (their makespans are an ablation benchmark):
 
@@ -9,18 +9,25 @@ Two schedulers are provided (their makespans are an ablation benchmark):
   chunking leaves ranks idle; LPT with the cost model recovers most of it,
   which is exactly the load-balancing story of the production code.
 
-:func:`run_tasks` is the serial executor used by the driver: it runs every
-task of this rank and reports per-task wall times, which calibrate the cost
-model of the performance layer.
+:func:`run_tasks` is the executor used by the driver: it runs every task of
+this rank and reports per-task wall times, which calibrate the cost model
+of the performance layer.  Given a :class:`repro.resilience.RetryPolicy`
+and/or :class:`repro.resilience.FaultInjector` it becomes the resilient
+executor: failed or NaN-returning tasks are retried with capped backoff
+and, once the budget is exhausted, *quarantined* (result ``None``,
+recorded on the report) instead of aborting the whole batch.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
+
+from ..errors import NumericalBreakdownError, RankFailure, TaskFailure
+from ..resilience.faults import nan_like, non_finite
 
 __all__ = ["static_blocks", "greedy_balance", "run_tasks", "ScheduleReport"]
 
@@ -62,33 +69,118 @@ def makespan(costs: Sequence[float], assignment: list[list[int]]) -> float:
 
 @dataclass
 class ScheduleReport:
-    """Execution record of a task batch on this rank."""
+    """Execution record of a task batch on this rank.
+
+    Attributes
+    ----------
+    results : list
+        Per-task results in task order; quarantined tasks hold ``None``.
+    wall_times : ndarray
+        Per-task wall time (s), including retries.
+    total_time : float
+    retries : int
+        Retry attempts consumed across the batch.
+    quarantined : list
+        (key, exception) pairs of tasks abandoned after all retries.
+    """
 
     results: list
     wall_times: np.ndarray
     total_time: float
+    retries: int = 0
+    quarantined: list = field(default_factory=list)
 
     @property
     def mean_task_time(self) -> float:
         """Average per-task wall time (s)."""
         return float(self.wall_times.mean()) if self.wall_times.size else 0.0
 
+    @property
+    def n_failed(self) -> int:
+        """Number of quarantined (permanently failed) tasks."""
+        return len(self.quarantined)
+
 
 def run_tasks(
     tasks: Sequence,
     fn: Callable,
     timer: Callable[[], float] = time.perf_counter,
+    retry=None,
+    injector=None,
+    key_fn: Callable | None = None,
+    report=None,
 ) -> ScheduleReport:
-    """Execute ``fn(task)`` for every task, recording per-task wall time."""
+    """Execute ``fn(task)`` for every task, recording per-task wall time.
+
+    Parameters
+    ----------
+    tasks, fn, timer
+        The batch, the task body and an injectable clock (as before).
+    retry : repro.resilience.RetryPolicy or None
+        Retry budget for failed/NaN tasks.  With both ``retry`` and
+        ``injector`` None this is the classic fail-fast executor: the
+        first exception aborts the batch (pre-resilience behaviour).
+    injector : repro.resilience.FaultInjector or None
+        Deterministic fault source, fired at site ``"task"`` per attempt.
+    key_fn : callable or None
+        Task -> stable key for injection/quarantine (default: the index).
+    report : repro.resilience.ResilienceReport or None
+        Run-level ledger to record retries/faults/quarantines into.
+    """
     results = []
     times = []
+    retries_used = 0
+    quarantined: list = []
+    resilient = retry is not None or injector is not None
+    if resilient and report is None:
+        from ..resilience.report import ResilienceReport
+
+        report = ResilienceReport()
     t_start = timer()
-    for task in tasks:
+    for index, task in enumerate(tasks):
+        key = key_fn(task) if key_fn is not None else index
         t0 = timer()
-        results.append(fn(task))
+        if not resilient:
+            results.append(fn(task))
+            times.append(timer() - t0)
+            continue
+
+        def attempt(attempt_number: int, _task=task, _key=key):
+            mode = injector.fire("task", _key) if injector is not None else None
+            out = fn(_task)
+            if mode == "nan":
+                out = nan_like(out)
+            if non_finite(out):
+                raise NumericalBreakdownError(
+                    f"non-finite result from task {_key!r}",
+                    injected=(mode == "nan"),
+                )
+            return out
+
+        try:
+            if retry is not None:
+                before = report.retries if report is not None else 0
+                result = retry.run(attempt, report=report)
+                if report is not None:
+                    retries_used += report.retries - before
+            else:
+                result = attempt(0)
+        except (TaskFailure, NumericalBreakdownError, RankFailure) as exc:
+            quarantined.append((key, exc))
+            if report is not None:
+                report.quarantined.append(key)
+                if retry is None:
+                    # retry.run already counted the fault
+                    report.record_fault(
+                        injected=bool(getattr(exc, "injected", False))
+                    )
+            result = None
+        results.append(result)
         times.append(timer() - t0)
     return ScheduleReport(
         results=results,
         wall_times=np.array(times),
         total_time=timer() - t_start,
+        retries=retries_used,
+        quarantined=quarantined,
     )

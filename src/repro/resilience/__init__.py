@@ -1,0 +1,53 @@
+"""Resilience layer: fault injection, recovery ladders, checkpoint/restart.
+
+Sustained petascale throughput — the paper's headline — is as much a
+fault-tolerance result as a flops result: a full I-V sweep on ~221k cores
+only finishes if the run survives non-converging surface-GF/SCF
+iterations, poisoned tasks, stragglers and dead ranks.  This package is
+the reproduction's equivalent machinery:
+
+* typed errors (:mod:`repro.errors`, re-exported here);
+* a deterministic, seedable :class:`FaultInjector` wired through the
+  scheduler, the distributed driver, the comm layer and the I-V engine;
+* recovery policies — :class:`RetryPolicy` with capped backoff and
+  quarantine, the surface-GF degradation ladder
+  (:func:`robust_surface_gf`), and the :class:`SCFRescue` ladder;
+* atomic :class:`SweepCheckpoint` / :class:`RampCheckpoint` for
+  kill-and-resume sweeps;
+* a :class:`ResilienceReport` ledger attached to every resilient run.
+"""
+
+from ..errors import (
+    ConvergenceError,
+    NumericalBreakdownError,
+    RankFailure,
+    ReproError,
+    SCFConvergenceError,
+    SurfaceGFConvergenceError,
+    TaskFailure,
+)
+from .checkpoint import RampCheckpoint, SweepCheckpoint, atomic_write_bytes
+from .faults import FaultInjector, InjectedFault, nan_like, non_finite
+from .policies import RetryPolicy, SCFRescue, robust_surface_gf
+from .report import ResilienceReport
+
+__all__ = [
+    "ReproError",
+    "ConvergenceError",
+    "SurfaceGFConvergenceError",
+    "SCFConvergenceError",
+    "NumericalBreakdownError",
+    "TaskFailure",
+    "RankFailure",
+    "FaultInjector",
+    "InjectedFault",
+    "non_finite",
+    "nan_like",
+    "RetryPolicy",
+    "SCFRescue",
+    "robust_surface_gf",
+    "ResilienceReport",
+    "SweepCheckpoint",
+    "RampCheckpoint",
+    "atomic_write_bytes",
+]

@@ -1,0 +1,268 @@
+"""Recovery policies: retry ladders, degradation ladders, SCF rescue.
+
+Three families of recovery, ordered from cheapest to most intrusive:
+
+* :class:`RetryPolicy` — re-attempt a failed task with capped exponential
+  backoff; transient faults (machine checks, injected flips) vanish on the
+  second attempt, persistent ones exhaust the budget and are surfaced (or
+  quarantined by the caller).
+* :func:`robust_surface_gf` — the surface-GF degradation ladder: when
+  Sancho-Rubio stalls at a band edge, escalate ``eta`` by decades, and if
+  decimation never contracts fall back to the complex-band
+  :func:`repro.negf.eigen_surface_gf` construction.
+* :class:`SCFRescue` — the bias-point rescue ladder: cold restart (drop
+  the possibly-poisoned warm start), halve the mixing damping, switch
+  Anderson -> linear mixing, shrink the bias-continuation step.  Each rung
+  trades speed for robustness, mirroring what an operator does by hand
+  when a production bias point refuses to converge.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import (
+    ConvergenceError,
+    NumericalBreakdownError,
+    SurfaceGFConvergenceError,
+    TaskFailure,
+)
+
+__all__ = ["RetryPolicy", "robust_surface_gf", "SCFRescue"]
+
+
+@dataclass
+class RetryPolicy:
+    """Capped-exponential-backoff retry of a fallible callable.
+
+    Parameters
+    ----------
+    max_retries : int
+        Extra attempts after the first (0 = fail fast).
+    backoff_s : float
+        Base delay before the first retry; 0 disables sleeping entirely
+        (the in-process default — backoff only matters against shared
+        external resources).
+    backoff_factor : float
+        Multiplier per retry.
+    max_backoff_s : float
+        Delay cap.
+    retry_on : tuple of exception types
+        What is considered transient.
+    sleep : callable
+        Injectable clock for tests.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+    retry_on: tuple = (TaskFailure, NumericalBreakdownError, ConvergenceError)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(
+            self.backoff_s * self.backoff_factor**attempt, self.max_backoff_s
+        )
+
+    def run(self, attempt_fn: Callable[[int], object], report=None):
+        """Call ``attempt_fn(attempt)`` until success or budget exhausted.
+
+        Faults matching ``retry_on`` are counted into ``report`` (injected
+        vs organic via the exception's ``injected`` flag); the last one is
+        re-raised when the budget runs out.
+        """
+        last: BaseException | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return attempt_fn(attempt)
+            except self.retry_on as exc:
+                last = exc
+                if report is not None:
+                    report.record_fault(
+                        injected=bool(getattr(exc, "injected", False))
+                    )
+                if attempt == self.max_retries:
+                    break
+                if report is not None:
+                    report.retries += 1
+                pause = self.delay(attempt)
+                if pause > 0:
+                    self.sleep(pause)
+        assert last is not None
+        raise last
+
+
+# ----------------------------------------------------------------------
+def robust_surface_gf(
+    energy: float,
+    h00,
+    h01,
+    side: str = "left",
+    eta: float = 1e-6,
+    tol: float = 1e-14,
+    max_iter: int = 200,
+    eta_ladder: tuple = (10.0, 100.0),
+    report=None,
+):
+    """Surface GF with the eta-escalation / eigen-fallback ladder.
+
+    Tries Sancho-Rubio at the nominal ``eta``; on
+    :class:`SurfaceGFConvergenceError` escalates ``eta`` by each factor of
+    ``eta_ladder`` (a slightly-degraded but finite answer beats an aborted
+    sweep), and as a last resort switches to the complex-band
+    :func:`repro.negf.eigen_surface_gf` construction, which has no fixed
+    point to stall.
+
+    Returns
+    -------
+    (g, path) : (ndarray, str)
+        The surface GF and the recovery path taken (``"sancho"``,
+        ``"sancho-eta*10"``, ..., ``"eigen"``).
+    """
+    from ..negf.surface_gf import eigen_surface_gf, sancho_rubio
+
+    try:
+        g, _ = sancho_rubio(
+            energy, h00, h01, side=side, eta=eta, tol=tol, max_iter=max_iter
+        )
+        return g, "sancho"
+    except SurfaceGFConvergenceError as exc:
+        if report is not None:
+            report.record_fault(injected=bool(getattr(exc, "injected", False)))
+    for factor in eta_ladder:
+        try:
+            g, _ = sancho_rubio(
+                energy,
+                h00,
+                h01,
+                side=side,
+                eta=eta * factor,
+                tol=tol,
+                max_iter=max_iter,
+            )
+            path = f"sancho-eta*{factor:g}"
+            if report is not None:
+                report.record_fallback(f"surface_gf:{path}")
+            return g, path
+        except SurfaceGFConvergenceError:
+            continue
+    g = eigen_surface_gf(energy, h00, h01, side=side, eta=max(eta, 1e-9))
+    if report is not None:
+        report.record_fallback("surface_gf:eigen")
+    return g, "eigen"
+
+
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def _overridden(obj, overrides: dict):
+    """Temporarily set attributes on ``obj`` (restored on exit)."""
+    saved = {name: getattr(obj, name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            setattr(obj, name, value)
+        yield obj
+    finally:
+        for name, value in saved.items():
+            setattr(obj, name, value)
+
+
+class SCFRescue:
+    """Rescue ladder for a non-converged SCF bias point.
+
+    The rungs, in order (first convergence wins):
+
+    1. ``cold-restart`` — drop the warm start (only when one was used);
+    2. ``beta-halved`` — halve the mixing damping;
+    3. ``linear-mixing`` — Anderson -> plain linear mixing at halved beta
+       (Anderson's least-squares history can amplify a noisy density);
+    4. ``continuation-halved`` — halve the drain-bias continuation step
+       (finer ramp, each stage closer to the previous fixed point).
+
+    Parameters
+    ----------
+    min_continuation_step : float
+        Floor for rung 4 (V).
+    """
+
+    def __init__(self, min_continuation_step: float = 0.03):
+        self.min_continuation_step = min_continuation_step
+
+    def stages(self, solver, used_warm_start: bool, continuation_step: float):
+        """The (name, attr-overrides, continuation_step) rungs to try."""
+        half_beta = 0.5 * solver.beta
+        out = []
+        if used_warm_start:
+            out.append(("cold-restart", {}, continuation_step))
+        out.append(("beta-halved", {"beta": half_beta}, continuation_step))
+        if solver.mixing != "linear":
+            out.append(
+                (
+                    "linear-mixing",
+                    {"beta": half_beta, "mixing": "linear"},
+                    continuation_step,
+                )
+            )
+        shrunk = max(0.5 * continuation_step, self.min_continuation_step)
+        if continuation_step > 0 and shrunk < continuation_step:
+            out.append(
+                (
+                    "continuation-halved",
+                    {"beta": half_beta, "mixing": "linear"},
+                    shrunk,
+                )
+            )
+        return out
+
+    def run(
+        self,
+        solver,
+        v_gate: float,
+        v_drain: float,
+        used_warm_start: bool = False,
+        continuation_step: float = 0.12,
+        report=None,
+    ):
+        """Climb the ladder at one bias point; returns (result, path).
+
+        ``result`` is the first converged :class:`repro.core.SCFResult`,
+        or the best (lowest final residual) attempt if every rung fails;
+        ``path`` is the tuple of rung names tried.
+        """
+        path: list[str] = []
+        best = None
+        for name, overrides, step in self.stages(
+            solver, used_warm_start, continuation_step
+        ):
+            path.append(name)
+            if report is not None:
+                report.record_fallback(f"scf:{name}")
+            with _overridden(solver, overrides):
+                result = solver.run(
+                    v_gate, v_drain, phi0=None, continuation_step=step
+                )
+            if result.converged:
+                return result, tuple(path)
+            if best is None or (
+                result.residuals
+                and best.residuals
+                and result.residuals[-1] < best.residuals[-1]
+            ):
+                best = result
+        if best is None:
+            raise NumericalBreakdownError(
+                f"SCF rescue ladder has no rungs at V_G={v_gate}, V_D={v_drain}"
+            )
+        return best, tuple(path)

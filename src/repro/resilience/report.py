@@ -1,0 +1,122 @@
+"""Run-level accounting of faults, retries and recovery paths.
+
+A resilient sweep is only trustworthy if it *reports* what it survived:
+how many faults occurred (and whether they were injected or organic), how
+many retries and which degradation ladders were taken, and which points
+ended up quarantined or unconverged.  :class:`ResilienceReport` is that
+ledger; it is attached to :class:`repro.core.IVCurve` and printed by the
+CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResilienceReport"]
+
+
+@dataclass
+class ResilienceReport:
+    """Ledger of everything the resilience layer did during a run.
+
+    Attributes
+    ----------
+    retries : int
+        Total retry attempts (beyond first attempts) across all tasks.
+    injected_faults, organic_faults : int
+        Faults seen, split by origin (injector vs real failure).
+    fallbacks : dict
+        Recovery-path counters, e.g. ``{"surface_gf:eigen": 3,
+        "scf:beta-halved": 1, "rank:requeue": 1}``.
+    rank_failures : int
+        Dead ranks observed.
+    requeued_tasks : int
+        Tasks reclaimed from dead ranks by survivors.
+    quarantined : list
+        Keys of tasks/points abandoned after exhausting every policy.
+    degraded_points : list
+        Bias keys that converged only through a fallback ladder.
+    unconverged_points : list
+        Bias keys recorded without convergence.
+    resumed_points : int
+        Points loaded from a checkpoint instead of recomputed.
+    """
+
+    retries: int = 0
+    injected_faults: int = 0
+    organic_faults: int = 0
+    fallbacks: dict = field(default_factory=dict)
+    rank_failures: int = 0
+    requeued_tasks: int = 0
+    quarantined: list = field(default_factory=list)
+    degraded_points: list = field(default_factory=list)
+    unconverged_points: list = field(default_factory=list)
+    resumed_points: int = 0
+
+    # ------------------------------------------------------------------
+    def record_fault(self, injected: bool = False) -> None:
+        """Count one fault by origin."""
+        if injected:
+            self.injected_faults += 1
+        else:
+            self.organic_faults += 1
+
+    def record_fallback(self, name: str) -> None:
+        """Count one traversal of a named recovery path."""
+        self.fallbacks[name] = self.fallbacks.get(name, 0) + 1
+
+    @property
+    def total_faults(self) -> int:
+        """Injected plus organic faults."""
+        return self.injected_faults + self.organic_faults
+
+    def merge(self, other: "ResilienceReport") -> None:
+        """Fold another report (e.g. from a nested solve) into this one."""
+        self.retries += other.retries
+        self.injected_faults += other.injected_faults
+        self.organic_faults += other.organic_faults
+        self.rank_failures += other.rank_failures
+        self.requeued_tasks += other.requeued_tasks
+        self.resumed_points += other.resumed_points
+        for name, count in other.fallbacks.items():
+            self.fallbacks[name] = self.fallbacks.get(name, 0) + count
+        self.quarantined.extend(other.quarantined)
+        self.degraded_points.extend(other.degraded_points)
+        self.unconverged_points.extend(other.unconverged_points)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible view (used by the CLI result files)."""
+        return {
+            "retries": self.retries,
+            "injected_faults": self.injected_faults,
+            "organic_faults": self.organic_faults,
+            "fallbacks": dict(self.fallbacks),
+            "rank_failures": self.rank_failures,
+            "requeued_tasks": self.requeued_tasks,
+            "quarantined": [repr(k) for k in self.quarantined],
+            "degraded_points": [repr(k) for k in self.degraded_points],
+            "unconverged_points": [repr(k) for k in self.unconverged_points],
+            "resumed_points": self.resumed_points,
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest for the CLI."""
+        lines = [
+            "resilience: "
+            f"{self.total_faults} fault(s) "
+            f"({self.injected_faults} injected, {self.organic_faults} organic), "
+            f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
+            f"{self.rank_failures} rank failure(s), "
+            f"{self.requeued_tasks} task(s) requeued, "
+            f"{self.resumed_points} point(s) resumed from checkpoint"
+        ]
+        if self.fallbacks:
+            taken = ", ".join(
+                f"{name} x{count}" for name, count in sorted(self.fallbacks.items())
+            )
+            lines.append(f"fallbacks: {taken}")
+        if self.quarantined:
+            lines.append(f"quarantined: {self.quarantined}")
+        if self.unconverged_points:
+            lines.append(f"unconverged: {self.unconverged_points}")
+        return "\n".join(lines)
