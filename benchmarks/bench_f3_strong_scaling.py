@@ -12,9 +12,10 @@ Regenerated at two scales (DESIGN.md substitution):
 """
 
 import numpy as np
-from conftest import print_experiment
+from conftest import print_experiment, record_baseline
 
 from repro.io import format_si, format_table
+from repro.observability import Tracer, flat_metrics, use_tracer
 from repro.parallel import Decomposition, run_tasks
 from repro.perf import JAGUAR_XT5, TransportWorkload, strong_scaling
 from repro.wf import WFSolver
@@ -71,9 +72,11 @@ def test_f3_measured_energy_level(benchmark, fet_small, fet_transport):
     energies = grid.energies[:48]
 
     def run():
-        return run_tasks(list(energies), lambda e: solver.solve(float(e)))
+        with use_tracer(Tracer()) as tracer:
+            rep = run_tasks(list(energies), lambda e: solver.solve(float(e)))
+        return rep, tracer
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    report, tracer = benchmark.pedantic(run, rounds=1, iterations=1)
     total = report.wall_times.sum()
     rows = []
     for p in (1, 2, 4, 8, 16):
@@ -98,6 +101,10 @@ def test_f3_measured_energy_level(benchmark, fet_small, fet_transport):
         f"{report.mean_task_time * 1e3:.1f} ms/task",
     )
     print(format_table(["ranks", "speedup", "efficiency"], rows))
+    metrics = flat_metrics(tracer)
+    metrics["speedup_8_ranks"] = float(rows[3][1])
+    path = record_baseline("f3_energy_level", metrics)
+    print(f"baseline -> {path.name}")
     # energy level must scale near-ideally to 8 ranks for 48 tasks
     eff8 = float(rows[3][2][:-1])
     assert eff8 > 75.0

@@ -8,10 +8,11 @@ the table that grounds the performance model's constants.
 
 import numpy as np
 import pytest
-from conftest import grid_transport_system, print_experiment
+from conftest import grid_transport_system, print_experiment, record_baseline
 
 from repro.negf import contact_self_energy, sancho_rubio
 from repro.negf.rgf import assemble_system_blocks
+from repro.observability import Tracer, flat_metrics, use_tracer
 from repro.perf import (
     block_lu_factor_flops,
     rgf_solve_flops,
@@ -95,6 +96,33 @@ def test_t3_wf_solve(benchmark, system):
         f"WF factor + {n_rhs} channel solves: {flops / 1e6:.1f} MFlop",
     )
     assert n_rhs < H.block_sizes.max()
+
+
+def test_t3_measured_flop_crosscheck(system):
+    """Instrumented counts equal the analytic T3 formulas, exactly.
+
+    The same RGF pass as :func:`test_t3_rgf_full_solve`, executed under a
+    live tracer: the flops the instrumented block-LU actually reports must
+    match :func:`repro.perf.rgf_solve_flops` to the last flop.  The traced
+    metrics are recorded as the ``BENCH_t3_rgf`` measured baseline.
+    """
+    _, _, _, blocks = system
+    diag, upper, lower = blocks
+    tracer = Tracer()
+    with use_tracer(tracer):
+        lu = BlockTridiagLU(diag, upper, lower)
+        lu.solve_block_column(0)
+        lu.solve_block_column(len(diag) - 1)
+        lu.diagonal_of_inverse()
+    measured = tracer.total_flops
+    analytic = rgf_solve_flops(len(diag), diag[0].shape[0])
+    assert measured == analytic
+    path = record_baseline("t3_rgf", flat_metrics(tracer))
+    print_experiment(
+        "T3/crosscheck",
+        f"measured {measured / 1e6:.1f} MFlop == analytic "
+        f"{analytic / 1e6:.1f} MFlop; baseline -> {path.name}",
+    )
 
 
 def test_t3_banded_lu(benchmark, system):

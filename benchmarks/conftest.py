@@ -7,6 +7,10 @@ pytest-benchmark fixture so ``pytest benchmarks/ --benchmark-only`` runs
 the complete harness.
 """
 
+import json
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -20,6 +24,27 @@ def print_experiment(experiment_id: str, table: str, notes: str = "") -> None:
     if notes:
         print(notes)
     print(line)
+
+
+def record_baseline(name: str, metrics: dict) -> Path:
+    """Persist measured metrics of a benchmark as ``BENCH_<name>.json``.
+
+    Baselines land in ``benchmarks/baselines/`` (override with the
+    ``REPRO_BENCH_DIR`` environment variable) so an optimisation PR can
+    diff its measured sustained-Flop/s and per-kernel counts against the
+    committed run.  ``metrics`` is typically the
+    :func:`repro.observability.flat_metrics` dict of a traced run, plus
+    any benchmark-specific figures.
+    """
+    directory = Path(
+        os.environ.get("REPRO_BENCH_DIR", Path(__file__).parent / "baselines")
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    with open(path, "w") as fh:
+        json.dump(metrics, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Check that internal links in the repo's markdown files resolve.
+
+Scans every ``*.md`` file in the repository root and ``docs/`` for inline
+markdown links ``[text](target)`` and verifies:
+
+* relative file targets exist (anchors are stripped first);
+* pure-anchor targets (``#section``) match a heading in the same file.
+
+External links (http/https/mailto) are not fetched — CI must not depend
+on the network.  Exit code 0 when every link resolves, 1 otherwise.
+
+Usage::
+
+    python scripts/check_docs_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files += sorted(docs.glob("*.md"))
+    return files
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    text = path.read_text()
+    anchors = {slugify(h) for h in HEADING_RE.findall(text)}
+    errors = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                errors.append(f"{path.relative_to(root)}: broken anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}: missing target {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            other = {slugify(h) for h in HEADING_RE.findall(resolved.read_text())}
+            if anchor not in other:
+                errors.append(
+                    f"{path.relative_to(root)}: broken anchor #{anchor} "
+                    f"in {file_part}"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    files = markdown_files(root)
+    errors: list[str] = []
+    n_links = 0
+    for path in files:
+        n_links += sum(
+            1
+            for t in LINK_RE.findall(path.read_text())
+            if not t.startswith(EXTERNAL)
+        )
+        errors.extend(check_file(path, root))
+    for err in errors:
+        print(f"ERROR: {err}")
+    print(
+        f"checked {len(files)} markdown files, {n_links} internal links, "
+        f"{len(errors)} broken"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

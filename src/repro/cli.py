@@ -1,11 +1,17 @@
 """Command-line interface: device simulation from JSON specs.
 
-Four subcommands mirror the workflows of the library:
+Five subcommands mirror the workflows of the library:
 
 * ``simulate`` — one self-consistent bias point of a device spec;
 * ``sweep``    — a transfer (Id-Vg) sweep;
 * ``bands``    — bulk band-structure summary of a material;
-* ``scaling``  — the performance-model projection table.
+* ``scaling``  — the performance-model projection table;
+* ``trace``    — summarise a trace JSON produced by ``--trace``.
+
+``simulate`` and ``sweep`` accept ``--trace FILE``: the run executes under
+an active :class:`repro.observability.Tracer`, writes a
+``chrome://tracing``-loadable timeline to FILE, prints the measured
+sustained-Flop/s report and embeds it in the result JSON (``"perf"`` key).
 
 Everything reads/writes plain JSON so the CLI composes with shell
 pipelines; ``python -m repro <subcommand> --help`` for options.
@@ -16,10 +22,37 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+@contextmanager
+def _tracing(trace_path, root_name):
+    """Activate a fresh tracer with a root span (no-op when path is falsy)."""
+    if not trace_path:
+        yield None
+        return
+    from .observability import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer), tracer.span(root_name, category="phase"):
+        yield tracer
+
+
+def _finish_trace(tracer, trace_path):
+    """Write the Chrome trace, print the PerfReport, return its dict."""
+    if tracer is None:
+        return None
+    from .observability import PerfReport, write_chrome_trace
+
+    write_chrome_trace(tracer, trace_path)
+    report = PerfReport.from_tracer(tracer)
+    print(report.summary())
+    print(f"trace  : {trace_path} (load in chrome://tracing or Perfetto)")
+    return report.to_dict()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--method", choices=("wf", "rgf"), default="wf")
     p_sim.add_argument("--n-energy", type=int, default=81)
     p_sim.add_argument("-o", "--output", help="write results JSON here")
+    p_sim.add_argument(
+        "--trace", metavar="FILE",
+        help="measure the run: write a Chrome-trace JSON timeline to FILE "
+             "and report measured sustained Flop/s",
+    )
 
     p_sweep = sub.add_parser("sweep", help="transfer (Id-Vg) sweep")
     p_sweep.add_argument("spec")
@@ -67,9 +105,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-rate", type=float, default=0.25,
         help="per-bias-point fault probability for --inject-faults",
     )
+    p_sweep.add_argument(
+        "--trace", metavar="FILE",
+        help="measure the run: write a Chrome-trace JSON timeline to FILE "
+             "and report measured sustained Flop/s",
+    )
 
     p_bands = sub.add_parser("bands", help="bulk band summary of a material")
     p_bands.add_argument("material", help="registry name, e.g. Si-sp3s*")
+
+    p_trace = sub.add_parser(
+        "trace", help="summarise a trace JSON written by --trace"
+    )
+    p_trace.add_argument("file", help="Chrome-trace JSON file")
 
     p_scale = sub.add_parser("scaling", help="performance-model projection")
     p_scale.add_argument("--cores", type=int, nargs="+",
@@ -94,27 +142,29 @@ def _cmd_simulate(args) -> int:
         built, method=args.method, n_energy=args.n_energy
     )
     scf = SelfConsistentSolver(built, transport)
-    result = scf.run(args.vg, args.vd)
+    with _tracing(args.trace, "simulate") as tracer:
+        result = scf.run(args.vg, args.vd)
     print(f"device : {built.spec.name} ({built.n_atoms} atoms, "
           f"{built.device.n_slabs} slabs)")
     print(f"bias   : V_G = {args.vg} V, V_D = {args.vd} V")
     print(f"SCF    : converged={result.converged} "
           f"iterations={result.n_iterations}")
     print(f"current: {format_si(result.transport.current_a, 'A')}")
+    perf = _finish_trace(tracer, args.trace)
     if args.output:
-        save_json(
-            {
-                "v_gate": args.vg,
-                "v_drain": args.vd,
-                "current_a": result.transport.current_a,
-                "converged": result.converged,
-                "n_iterations": result.n_iterations,
-                "residuals": result.residuals,
-                "density_per_atom": result.transport.density_per_atom,
-                "counted_flops": result.flops.total,
-            },
-            args.output,
-        )
+        payload = {
+            "v_gate": args.vg,
+            "v_drain": args.vd,
+            "current_a": result.transport.current_a,
+            "converged": result.converged,
+            "n_iterations": result.n_iterations,
+            "residuals": result.residuals,
+            "density_per_atom": result.transport.density_per_atom,
+            "counted_flops": result.flops.total,
+        }
+        if perf is not None:
+            payload["perf"] = perf
+        save_json(payload, args.output)
         print(f"wrote  : {args.output}")
     return 0 if result.converged else 2
 
@@ -152,7 +202,8 @@ def _cmd_sweep(args) -> int:
         injector=injector,
     )
     vgs = np.linspace(args.vg_start, args.vg_stop, args.vg_points)
-    curve = sweep.transfer_curve(vgs, v_drain=args.vd)
+    with _tracing(args.trace, "sweep") as tracer:
+        curve = sweep.transfer_curve(vgs, v_drain=args.vd)
     rows = [
         (f"{p.v_gate:+.3f}", format_si(p.current_a, "A"),
          "yes" if p.converged else "NO",
@@ -170,16 +221,19 @@ def _cmd_sweep(args) -> int:
         pass
     print(f"on/off ratio: {curve.on_off_ratio():.3e}")
     print(curve.report.summary())
+    perf = _finish_trace(tracer, args.trace)
+    if perf is None and curve.perf is not None:  # pragma: no cover
+        perf = curve.perf.to_dict()
     if args.output:
-        save_json(
-            {
-                "v_drain": args.vd,
-                "points": curve.points,
-                "counted_flops": curve.flops.total,
-                "resilience": curve.report.to_dict(),
-            },
-            args.output,
-        )
+        payload = {
+            "v_drain": args.vd,
+            "points": curve.points,
+            "counted_flops": curve.flops.total,
+            "resilience": curve.report.to_dict(),
+        }
+        if perf is not None:
+            payload["perf"] = perf
+        save_json(payload, args.output)
         print(f"wrote: {args.output}")
     return 0 if all(p.converged for p in curve.points) else 2
 
@@ -205,6 +259,39 @@ def _cmd_bands(args) -> int:
         },
         indent=2,
     ))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .observability import PerfReport
+
+    with open(args.file) as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents", [])
+    other = doc.get("otherData", {})
+    report = PerfReport(
+        wall_time_s=float(other.get("wall_time_s", 0.0)),
+        counted_flops=float(other.get("counted_flops", 0.0)),
+        kernel_flops=other.get("kernel_flops", {}),
+        phase_seconds=other.get("phase_seconds", {}),
+        rank_seconds={
+            int(k): v for k, v in other.get("rank_seconds", {}).items()
+        },
+        n_spans=int(other.get("n_spans", len(events))),
+        n_tasks=int(other.get("n_tasks", 0)),
+    )
+    print(f"trace  : {args.file} ({len(events)} events)")
+    print(report.summary())
+    if report.phase_seconds:
+        top = sorted(
+            report.phase_seconds.items(), key=lambda kv: -kv[1]
+        )[:6]
+        print("phases : " + ", ".join(f"{k} {v:.3f}s" for k, v in top))
+    if report.rank_seconds:
+        busy = ", ".join(
+            f"rank{k} {v:.3f}s" for k, v in sorted(report.rank_seconds.items())
+        )
+        print("ranks  : " + busy)
     return 0
 
 
@@ -240,6 +327,7 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "bands": _cmd_bands,
         "scaling": _cmd_scaling,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import NumericalBreakdownError, RankFailure, TaskFailure
 from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
+from ..observability.tracer import get_tracer
 from ..parallel.decomposition import Decomposition, choose_level_sizes
 from ..physics.grids import EnergyGrid
 from .transport import TransportCalculation
@@ -124,6 +125,7 @@ class DistributedTransport:
         current = 0.0
         density = np.zeros(built.n_atoms)
         solvers: dict[int, object] = {}
+        tracer = get_tracer()
 
         def solve_task(ik: int, ie: int) -> tuple[float, np.ndarray]:
             """One (k, E) contribution: (w_k-weighted current, density)."""
@@ -155,43 +157,57 @@ class DistributedTransport:
             )
             return curr, dens
 
-        for task in tasks:
-            ik, ie = task.k_index, task.energy_index
-            if injector is None and retry is None:
-                curr, dens = solve_task(ik, ie)
-            else:
-                key = (ik, ie)
-
-                def attempt(attempt_number: int, _ik=ik, _ie=ie, _key=key):
-                    mode = (
-                        injector.fire("task", _key)
-                        if injector is not None
-                        else None
-                    )
-                    curr, dens = solve_task(_ik, _ie)
-                    if mode == "nan":
-                        curr, dens = float("nan"), np.full_like(dens, np.nan)
-                    if not np.isfinite(curr) or not np.all(np.isfinite(dens)):
-                        raise NumericalBreakdownError(
-                            f"non-finite observables at (k,E) task {_key}",
-                            injected=(mode == "nan"),
-                        )
-                    return curr, dens
-
-                try:
-                    if retry is not None:
-                        curr, dens = retry.run(attempt, report=report)
+        with tracer.span(
+            "rank_partial", category="rank", rank=rank, n_tasks=len(tasks)
+        ):
+            for task in tasks:
+                ik, ie = task.k_index, task.energy_index
+                with tracer.span(
+                    "task", category="task", rank=rank, k=int(ik), e=int(ie)
+                ):
+                    if injector is None and retry is None:
+                        curr, dens = solve_task(ik, ie)
                     else:
-                        curr, dens = attempt(0)
-                except (TaskFailure, NumericalBreakdownError) as exc:
-                    raise TaskFailure(
-                        f"(k,E) task {key} failed permanently on rank {rank}: "
-                        f"{exc}",
-                        key=key,
-                        injected=bool(getattr(exc, "injected", False)),
-                    ) from exc
-            current += curr
-            density += dens
+                        key = (ik, ie)
+
+                        def attempt(
+                            attempt_number: int, _ik=ik, _ie=ie, _key=key
+                        ):
+                            mode = (
+                                injector.fire("task", _key)
+                                if injector is not None
+                                else None
+                            )
+                            curr, dens = solve_task(_ik, _ie)
+                            if mode == "nan":
+                                curr, dens = (
+                                    float("nan"),
+                                    np.full_like(dens, np.nan),
+                                )
+                            if not np.isfinite(curr) or not np.all(
+                                np.isfinite(dens)
+                            ):
+                                raise NumericalBreakdownError(
+                                    "non-finite observables at (k,E) task "
+                                    f"{_key}",
+                                    injected=(mode == "nan"),
+                                )
+                            return curr, dens
+
+                        try:
+                            if retry is not None:
+                                curr, dens = retry.run(attempt, report=report)
+                            else:
+                                curr, dens = attempt(0)
+                        except (TaskFailure, NumericalBreakdownError) as exc:
+                            raise TaskFailure(
+                                f"(k,E) task {key} failed permanently on "
+                                f"rank {rank}: {exc}",
+                                key=key,
+                                injected=bool(getattr(exc, "injected", False)),
+                            ) from exc
+                current += curr
+                density += dens
         return PartialObservables(
             current_a=current, density_per_atom=density, n_tasks=len(tasks)
         )

@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import NumericalBreakdownError, TaskFailure
+from ..observability import PerfReport, get_tracer
 from ..perf.flops import FlopCounter
 from ..resilience import ResilienceReport, SCFRescue, SweepCheckpoint
 from ..resilience.faults import non_finite
@@ -78,11 +79,18 @@ def _bias_key(v_gate: float, v_drain: float) -> tuple:
 
 @dataclass
 class IVCurve:
-    """A family of bias points plus run-level accounting."""
+    """A family of bias points plus run-level accounting.
+
+    ``flops`` is the *analytic* per-kernel ledger (always populated);
+    ``perf`` is the *measured* :class:`repro.observability.PerfReport` —
+    wall time, instrumented flop counts and sustained Flop/s — attached
+    whenever the sweep ran under an active tracer, None otherwise.
+    """
 
     points: list = field(default_factory=list)
     flops: FlopCounter = field(default_factory=FlopCounter)
     report: ResilienceReport = field(default_factory=ResilienceReport)
+    perf: PerfReport | None = None
 
     def currents(self) -> np.ndarray:
         """Currents (A) in sweep order."""
@@ -278,15 +286,22 @@ class IVSweep:
                     phi = state["phi"]
             else:
                 self.checkpoint.clear()
+        tracer = get_tracer()
         for v_gate, v_drain in bias_pairs:
             key = _bias_key(v_gate, v_drain)
             if key in completed:
                 curve.points.append(_point_from_dict(completed[key]))
                 report.resumed_points += 1
                 continue
-            point, phi_new, flops = self._solve_point(
-                v_gate, v_drain, phi, report
-            )
+            with tracer.span(
+                "bias",
+                category="phase",
+                v_gate=float(v_gate),
+                v_drain=float(v_drain),
+            ):
+                point, phi_new, flops = self._solve_point(
+                    v_gate, v_drain, phi, report
+                )
             curve.points.append(point)
             curve.flops.merge(flops)
             if warm_start and phi_new is not None:
@@ -297,6 +312,8 @@ class IVSweep:
                     phi,
                     meta=meta,
                 )
+        if tracer.enabled:
+            curve.perf = PerfReport.from_tracer(tracer)
         return curve
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
 from ..negf.rgf import RGFSolver
+from ..observability.tracer import trace_span
 from ..perf.flops import (
     FlopCounter,
     rgf_solve_flops,
@@ -210,6 +211,12 @@ class TransportCalculation:
         energy_grid : EnergyGrid or None
             Override the automatic window (used by the adaptive-grid bench).
         """
+        with trace_span(
+            "transport.solve_bias", category="phase", v_drain=float(v_drain)
+        ):
+            return self._solve_bias(potential_ev, v_drain, energy_grid)
+
+    def _solve_bias(self, potential_ev, v_drain, energy_grid):
         built = self.built
         kT = built.spec.kT
         mu_s = built.contact_mu("source")

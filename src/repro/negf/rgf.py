@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability.tracer import trace_span
 from ..solvers.block_tridiagonal import BlockTridiagLU
 from ..tb.hamiltonian import BlockTridiagonalHamiltonian
 from .self_energy import LeadSelfEnergy, contact_self_energy
@@ -145,6 +146,10 @@ class RGFSolver:
 
     def solve(self, energy: float) -> RGFResult:
         """Full RGF solve: transmission, LDOS and contact spectral densities."""
+        with trace_span("rgf.solve", category="kernel", energy=float(energy)):
+            return self._solve(energy)
+
+    def _solve(self, energy: float) -> RGFResult:
         sig_l, sig_r = self.self_energies(energy)
         diag, upper, lower = assemble_system_blocks(
             self.H, energy, sig_l.sigma, sig_r.sigma

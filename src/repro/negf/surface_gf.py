@@ -34,6 +34,8 @@ import numpy as np
 import scipy.linalg as sla
 
 from ..errors import SurfaceGFConvergenceError
+from ..observability.tracer import get_tracer
+from ..perf.flops import sancho_rubio_flops
 
 __all__ = ["sancho_rubio", "eigen_surface_gf", "lead_modes", "LeadModes"]
 
@@ -101,6 +103,11 @@ def sancho_rubio(
             eta=eta,
         )
     g = np.linalg.solve(z - eps_s, np.eye(m))
+    tracer = get_tracer()
+    if tracer.enabled:
+        # per iteration: one inversion + four a @ g @ b products (8 GEMMs),
+        # plus the final surface inversion — charged only on convergence
+        tracer.add_flops("surface_gf.sancho", sancho_rubio_flops(m, it))
     return g, it
 
 
@@ -233,6 +240,10 @@ def eigen_surface_gf(
     F~ = Phi Lambda^{-1} Phi^{-1} (one step deeper into the lead) gives
 
         g_L = [E - h00 - h01^+ F~]^{-1}.
+
+    Unlike :func:`sancho_rubio` this path is *not* flop-instrumented: its
+    cost is one generalized eigenproblem, which the paper's GEMM/LU-based
+    operation count (and hence :mod:`repro.perf.flops`) does not model.
     """
     m = h00.shape[0]
     E = (energy + 1j * eta) * np.eye(m)

@@ -1,0 +1,72 @@
+"""Measured-performance observability: tracing, flop accounting, reports.
+
+The paper's headline number is a *measurement* — sustained Flop/s =
+analytically counted flops / wall time (the Gordon Bell convention).
+This package is the measurement substrate of the reproduction:
+
+* :class:`Tracer` / :func:`trace_span` — hierarchical, exception-safe,
+  thread-safe phase spans with wall-time and counted-flop attribution;
+  the default active tracer is a no-op :class:`NullTracer`, so
+  uninstrumented runs pay ~zero cost.
+* :func:`add_flops` — the hook the instrumented kernels
+  (:class:`repro.solvers.BlockTridiagLU`, :func:`repro.negf.sancho_rubio`,
+  :class:`repro.wf.WFSolver`, ...) report measured flops through.
+* :class:`PerfReport` — the sustained-Flop/s ledger of one traced run,
+  attached to :class:`repro.core.IVCurve` and embedded in CLI result JSON.
+* :func:`chrome_trace` / :func:`write_chrome_trace` /
+  :func:`flat_metrics` — export layers (``chrome://tracing``-loadable
+  timeline JSON and a flat metrics dict for benchmark baselines).
+* :func:`validate_flops` — asserts the analytic formulas of
+  :mod:`repro.perf.flops` match the instrumented counts exactly.
+
+Typical use::
+
+    from repro.observability import Tracer, use_tracer, PerfReport
+
+    tracer = Tracer()
+    with use_tracer(tracer), tracer.span("sweep"):
+        curve = IVSweep(scf).transfer_curve(...)
+    print(PerfReport.from_tracer(tracer).summary())
+"""
+
+from .export import chrome_trace, flat_metrics, write_chrome_trace
+from .report import PerfReport
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    add_flops,
+    get_tracer,
+    set_tracer,
+    trace_span,
+    use_tracer,
+)
+from .validate import (
+    FlopValidation,
+    validate_flops,
+    validate_rgf_flops,
+    validate_sancho_rubio_flops,
+    validate_wf_flops,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "trace_span",
+    "add_flops",
+    "PerfReport",
+    "chrome_trace",
+    "write_chrome_trace",
+    "flat_metrics",
+    "FlopValidation",
+    "validate_flops",
+    "validate_rgf_flops",
+    "validate_wf_flops",
+    "validate_sancho_rubio_flops",
+]

@@ -1,0 +1,122 @@
+"""Trace export layers: Chrome trace format JSON and flat metrics.
+
+Two consumers are served:
+
+* **Humans** — :func:`chrome_trace` emits the Trace Event Format that
+  ``chrome://tracing`` / Perfetto load directly: one complete ("ph": "X")
+  event per closed span, with the span's measured flops in ``args``,
+  ranks mapped to ``pid`` rows and threads to ``tid`` rows, so a traced
+  sweep renders as the per-rank/per-task timeline of the paper's Figure-
+  style Gantt charts.
+* **Machines** — :func:`flat_metrics` flattens the same trace into a
+  single-level dict (``"flops.block_lu.factor"``, ``"time.rgf.solve_s"``,
+  ``"sustained_flops"``, ...) for benchmark baselines (``BENCH_*.json``)
+  and CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .report import PerfReport
+
+__all__ = ["chrome_trace", "write_chrome_trace", "flat_metrics"]
+
+
+def chrome_trace(tracer) -> dict:
+    """Chrome Trace-Event-Format view of a tracer's completed spans.
+
+    Returns the JSON *object* form: ``{"traceEvents": [...],
+    "displayTimeUnit": "ms", "otherData": {...}}``.  Timestamps are
+    microseconds relative to the tracer's epoch; each event is a complete
+    event (``"ph": "X"``) carrying the span's own and cumulative flops.
+    Open (unclosed) spans are not exported.
+
+    Example
+    -------
+    >>> from repro.observability import Tracer
+    >>> t = Tracer()
+    >>> with t.span("rgf", category="kernel"):
+    ...     t.add_flops("block_lu.factor", 64.0)
+    >>> doc = chrome_trace(t)
+    >>> doc["traceEvents"][0]["name"], doc["traceEvents"][0]["ph"]
+    ('rgf', 'X')
+    >>> doc["otherData"]["counted_flops"]
+    64.0
+    """
+    epoch = getattr(tracer, "epoch", 0.0)
+    events = []
+    for span in tracer.spans:
+        if span.t_end is None:  # pragma: no cover - open spans skipped
+            continue
+        args = {
+            "flops": span.total_flops,
+            "own_flops": span.own_flops,
+            "depth": span.depth,
+        }
+        for key, value in span.attrs.items():
+            args[str(key)] = value if _jsonable(value) else repr(value)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": (span.t_start - epoch) * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": int(span.attrs.get("rank", 0)),
+                "tid": span.thread,
+                "args": args,
+            }
+        )
+    report = PerfReport.from_tracer(tracer)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": report.to_dict(),
+    }
+
+
+def write_chrome_trace(tracer, path) -> dict:
+    """Serialise :func:`chrome_trace` to ``path``; returns the document."""
+    doc = chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc
+
+
+def flat_metrics(tracer) -> dict:
+    """One-level metrics dict of a traced run (for baselines and CI).
+
+    Keys: ``wall_time_s``, ``counted_flops``, ``sustained_flops``,
+    ``n_spans``, ``n_tasks``, ``flops.<kernel>`` per measured kernel and
+    ``time.<span name>_s`` per span name.
+
+    Example
+    -------
+    >>> from repro.observability import Tracer
+    >>> t = Tracer()
+    >>> with t.span("wf.solve"):
+    ...     t.add_flops("wf.factor", 8.0)
+    >>> m = flat_metrics(t)
+    >>> m["flops.wf.factor"], "time.wf.solve_s" in m
+    (8.0, True)
+    """
+    report = PerfReport.from_tracer(tracer)
+    out = {
+        "wall_time_s": report.wall_time_s,
+        "counted_flops": report.counted_flops,
+        "sustained_flops": report.sustained_flops,
+        "n_spans": report.n_spans,
+        "n_tasks": report.n_tasks,
+    }
+    for kernel, flops in sorted(report.kernel_flops.items()):
+        out[f"flops.{kernel}"] = flops
+    for name, seconds in sorted(report.phase_seconds.items()):
+        out[f"time.{name}_s"] = seconds
+    for rank, seconds in sorted(report.rank_seconds.items()):
+        out[f"rank.{rank}_s"] = seconds
+    return out
+
+
+def _jsonable(value) -> bool:
+    return isinstance(value, (str, int, float, bool, type(None)))

@@ -27,6 +27,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import NumericalBreakdownError, RankFailure, TaskFailure
+from ..observability.tracer import get_tracer
 from ..resilience.faults import nan_like, non_finite
 
 __all__ = ["static_blocks", "greedy_balance", "run_tasks", "ScheduleReport"]
@@ -136,51 +137,70 @@ def run_tasks(
         from ..resilience.report import ResilienceReport
 
         report = ResilienceReport()
-    t_start = timer()
-    for index, task in enumerate(tasks):
-        key = key_fn(task) if key_fn is not None else index
-        t0 = timer()
-        if not resilient:
-            results.append(fn(task))
-            times.append(timer() - t0)
-            continue
-
-        def attempt(attempt_number: int, _task=task, _key=key):
-            mode = injector.fire("task", _key) if injector is not None else None
-            out = fn(_task)
-            if mode == "nan":
-                out = nan_like(out)
-            if non_finite(out):
-                raise NumericalBreakdownError(
-                    f"non-finite result from task {_key!r}",
-                    injected=(mode == "nan"),
+    tracer = get_tracer()
+    with tracer.span("run_tasks", category="phase", n_tasks=len(tasks)):
+        t_start = timer()
+        for index, task in enumerate(tasks):
+            key = key_fn(task) if key_fn is not None else index
+            with tracer.span("task", category="task", key=str(key)):
+                t0 = timer()
+                result = _run_one(
+                    task, fn, key, resilient, retry, injector, report
                 )
-            return out
-
-        try:
-            if retry is not None:
-                before = report.retries if report is not None else 0
-                result = retry.run(attempt, report=report)
-                if report is not None:
-                    retries_used += report.retries - before
-            else:
-                result = attempt(0)
-        except (TaskFailure, NumericalBreakdownError, RankFailure) as exc:
-            quarantined.append((key, exc))
-            if report is not None:
-                report.quarantined.append(key)
-                if retry is None:
-                    # retry.run already counted the fault
-                    report.record_fault(
-                        injected=bool(getattr(exc, "injected", False))
-                    )
-            result = None
-        results.append(result)
-        times.append(timer() - t0)
+                if result.quarantine is not None:
+                    quarantined.append(result.quarantine)
+                retries_used += result.retries
+                results.append(result.value)
+                times.append(timer() - t0)
+        total_time = timer() - t_start
     return ScheduleReport(
         results=results,
         wall_times=np.array(times),
-        total_time=timer() - t_start,
+        total_time=total_time,
         retries=retries_used,
         quarantined=quarantined,
     )
+
+
+@dataclass
+class _TaskOutcome:
+    """Result of one task attempt chain inside :func:`run_tasks`."""
+
+    value: object
+    retries: int = 0
+    quarantine: tuple | None = None
+
+
+def _run_one(task, fn, key, resilient, retry, injector, report) -> _TaskOutcome:
+    """Run one task with the retry/injection/quarantine policy applied."""
+    if not resilient:
+        return _TaskOutcome(value=fn(task))
+
+    def attempt(attempt_number: int, _task=task, _key=key):
+        mode = injector.fire("task", _key) if injector is not None else None
+        out = fn(_task)
+        if mode == "nan":
+            out = nan_like(out)
+        if non_finite(out):
+            raise NumericalBreakdownError(
+                f"non-finite result from task {_key!r}",
+                injected=(mode == "nan"),
+            )
+        return out
+
+    try:
+        if retry is not None:
+            before = report.retries if report is not None else 0
+            result = retry.run(attempt, report=report)
+            used = (report.retries - before) if report is not None else 0
+            return _TaskOutcome(value=result, retries=used)
+        return _TaskOutcome(value=attempt(0))
+    except (TaskFailure, NumericalBreakdownError, RankFailure) as exc:
+        if report is not None:
+            report.quarantined.append(key)
+            if retry is None:
+                # retry.run already counted the fault
+                report.record_fault(
+                    injected=bool(getattr(exc, "injected", False))
+                )
+        return _TaskOutcome(value=None, quarantine=(key, exc))

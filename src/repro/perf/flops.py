@@ -8,8 +8,12 @@ complex multiply-add = 8 real flops, so a complex m x m x m GEMM costs
 
 The formulas mirror the *implemented* algorithms operation-for-operation
 (:class:`repro.solvers.BlockTridiagLU`, :class:`repro.negf.RGFSolver`,
-:class:`repro.wf.WFSolver`, :func:`repro.negf.sancho_rubio`) — the test
-suite cross-checks them against instrumented runs at small sizes.
+:class:`repro.wf.WFSolver`, :func:`repro.negf.sancho_rubio`) — and the
+claim is enforced, not aspirational: the same call sites are instrumented
+to report their measured counts to :mod:`repro.observability`, and
+:func:`repro.observability.validate_flops` (exercised by
+``tests/test_observability.py``) asserts analytic == instrumented
+**exactly** at small sizes for the RGF, WF and Sancho-Rubio kernels.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ __all__ = [
     "zlu_flops",
     "zinverse_flops",
     "block_lu_factor_flops",
+    "block_lu_solve_flops",
     "block_column_solve_flops",
     "diagonal_inverse_flops",
     "rgf_solve_flops",
@@ -34,26 +39,51 @@ __all__ = [
 
 
 def zgemm_flops(m: int, n: int, k: int) -> float:
-    """Complex GEMM (m x k) @ (k x n): 8 m n k real flops."""
+    """Complex GEMM (m x k) @ (k x n): 8 m n k real flops.
+
+    Example
+    -------
+    >>> zgemm_flops(2, 3, 4)
+    192.0
+    """
     return 8.0 * m * n * k
 
 
 def zlu_flops(n: int) -> float:
-    """Complex LU factorisation of an n x n block: (8/3) n^3."""
+    """Complex LU factorisation of an n x n block: (8/3) n^3.
+
+    Example
+    -------
+    >>> zlu_flops(3)
+    72.0
+    """
     return 8.0 / 3.0 * n**3
 
 
 def zinverse_flops(n: int) -> float:
-    """Complex inversion (getrf + getri): 8 n^3."""
+    """Complex inversion (getrf + getri): 8 n^3.
+
+    Example
+    -------
+    >>> zinverse_flops(2)
+    64.0
+    """
     return 8.0 * n**3
 
 
 def block_lu_factor_flops(n_blocks: int, m: int) -> float:
-    """Forward elimination of BlockTridiagLU.
+    """Forward elimination of :class:`repro.solvers.BlockTridiagLU`.
 
     Per interior block: one inversion (8 m^3) and two GEMMs
     (dinv @ upper, lower @ (.)): 24 m^3 total; the first block needs only
     its inversion.
+
+    Example
+    -------
+    >>> block_lu_factor_flops(1, 2) == zinverse_flops(2)
+    True
+    >>> block_lu_factor_flops(3, 2) == 64 + 2 * (64 + 2 * 64)
+    True
     """
     if n_blocks < 1:
         raise ValueError("need at least one block")
@@ -62,25 +92,80 @@ def block_lu_factor_flops(n_blocks: int, m: int) -> float:
     )
 
 
-def block_column_solve_flops(n_blocks: int, m: int) -> float:
-    """One block-column solve (m RHS): ~4 GEMMs per block (fwd + bwd)."""
-    return n_blocks * 4 * zgemm_flops(m, m, m)
+def block_lu_solve_flops(n_blocks: int, m: int, n_rhs: int = 1) -> float:
+    """Generic multi-RHS solve: (4 N - 3) GEMMs of 8 m^2 n_rhs each.
+
+    As coded in :meth:`repro.solvers.BlockTridiagLU.solve`: the forward
+    substitution does 2 GEMMs per block after the first, the backward pass
+    1 GEMM for the last block and 2 for each of the others.
+
+    Example
+    -------
+    >>> block_lu_solve_flops(4, 3, n_rhs=2) == (4 * 4 - 3) * 8 * 9 * 2
+    True
+    """
+    return (4 * n_blocks - 3) * zgemm_flops(m, n_rhs, m)
+
+
+def block_column_solve_flops(n_blocks: int, m: int, column: int = 0) -> float:
+    """One block-column solve of A^{-1} (m RHS), exact GEMM count.
+
+    As coded in :meth:`repro.solvers.BlockTridiagLU.solve_block_column`:
+    the forward pass below block ``column`` does 2 GEMMs per block
+    (2 (N - 1 - j)), the backward pass 1 GEMM for the last block plus
+    2 per remaining block (2 (N - 1) + 1) — a total of (4 N - 3 - 2 j)
+    GEMMs of 8 m^3 each.  The first column (j = 0, the RGF "G_{i,0}"
+    sweep) is the most expensive; the last (j = N - 1) skips the whole
+    forward pass.
+
+    Example
+    -------
+    >>> block_column_solve_flops(4, 2, column=0) == 13 * zgemm_flops(2, 2, 2)
+    True
+    >>> block_column_solve_flops(4, 2, column=3) == 7 * zgemm_flops(2, 2, 2)
+    True
+    """
+    if not 0 <= column < n_blocks:
+        raise ValueError(f"column {column} out of range for {n_blocks} blocks")
+    n_gemm = 2 * (n_blocks - 1 - column) + 2 * (n_blocks - 1) + 1
+    return n_gemm * zgemm_flops(m, m, m)
 
 
 def diagonal_inverse_flops(n_blocks: int, m: int) -> float:
-    """Backward selected-inversion recursion: 4 GEMMs per block."""
-    return n_blocks * 4 * zgemm_flops(m, m, m)
+    """Backward selected-inversion recursion: 4 GEMMs per interior block.
+
+    As coded in :meth:`repro.solvers.BlockTridiagLU.diagonal_of_inverse`:
+    G_{NN} is a copy (no flops); each of the N - 1 remaining blocks
+    evaluates ``di @ U @ G @ L @ di`` left-to-right — 4 GEMMs of 8 m^3.
+
+    Example
+    -------
+    >>> diagonal_inverse_flops(1, 5)
+    0.0
+    >>> diagonal_inverse_flops(3, 2) == 8 * zgemm_flops(2, 2, 2)
+    True
+    """
+    return (n_blocks - 1) * 4 * zgemm_flops(m, m, m)
 
 
 def rgf_solve_flops(n_blocks: int, m: int) -> float:
-    """Full RGF solve: factor + two block columns + diagonal recursion.
+    """Full RGF solve: factor + first/last block columns + diagonal sweep.
 
     This is the per-(k, E) cost of :meth:`repro.negf.RGFSolver.solve`,
-    excluding the contact surface GFs (counted separately).
+    excluding the contact surface GFs (counted separately).  For uniform
+    blocks it reduces to (13 N - 10) * 8 m^3 — the O(N m^3) law of the
+    recursion.  :func:`repro.observability.validate_rgf_flops` checks
+    this against an instrumented solve, term for term.
+
+    Example
+    -------
+    >>> rgf_solve_flops(4, 3) == (13 * 4 - 10) * 8 * 27
+    True
     """
     return (
         block_lu_factor_flops(n_blocks, m)
-        + 2 * block_column_solve_flops(n_blocks, m)
+        + block_column_solve_flops(n_blocks, m, column=0)
+        + block_column_solve_flops(n_blocks, m, column=n_blocks - 1)
         + diagonal_inverse_flops(n_blocks, m)
     )
 
@@ -93,23 +178,52 @@ def wf_factor_flops(n_blocks: int, m: int) -> float:
     /3 for triangular): modelled as (8/3 + 16/3) m^3 = 8 m^3 per block —
     roughly 3x cheaper than the inverse-based factorisation and the source
     of the WF-vs-RGF gap in experiment F2.
+
+    Example
+    -------
+    >>> wf_factor_flops(4, 3)
+    864.0
     """
     return n_blocks * 8.0 * m**3
 
 
 def wf_backsub_flops(n_blocks: int, m: int, n_rhs: int) -> float:
-    """Back-substitution for n_rhs injected channels: 16 m^2 per block each."""
+    """Back-substitution for n_rhs injected channels: 16 m^2 per block each.
+
+    Example
+    -------
+    >>> wf_backsub_flops(4, 3, 2)
+    1152.0
+    """
     return n_blocks * n_rhs * 16.0 * m**2
 
 
 def wf_solve_flops(n_blocks: int, m: int, n_rhs: int) -> float:
-    """Total WF cost per (k, E): factorisation + per-channel solves."""
+    """Total WF cost per (k, E): factorisation + per-channel solves.
+
+    Example
+    -------
+    >>> wf_solve_flops(4, 3, 2) == wf_factor_flops(4, 3) + wf_backsub_flops(4, 3, 2)
+    True
+    """
     return wf_factor_flops(n_blocks, m) + wf_backsub_flops(n_blocks, m, n_rhs)
 
 
 def sancho_rubio_flops(m: int, n_iterations: int) -> float:
-    """Decimation: per iteration one inversion and eight GEMMs (as coded)."""
-    return n_iterations * (zinverse_flops(m) + 8 * zgemm_flops(m, m, m))
+    """Decimation cost: per iteration one inversion and eight GEMMs, plus
+    the final surface inversion — exactly as coded in
+    :func:`repro.negf.sancho_rubio` (each of the four update products
+    ``a @ g @ b`` is two GEMMs).
+
+    Example
+    -------
+    >>> sancho_rubio_flops(2, 3) == 3 * (64 + 8 * 64) + 64
+    True
+    """
+    return (
+        n_iterations * (zinverse_flops(m) + 8 * zgemm_flops(m, m, m))
+        + zinverse_flops(m)
+    )
 
 
 def splitsolve_flops(n_blocks: int, m: int, n_domains: int) -> dict:
@@ -120,13 +234,23 @@ def splitsolve_flops(n_blocks: int, m: int, n_domains: int) -> dict:
     The domain term is what g_s spatial ranks execute concurrently; the
     interface term is the serial fraction that caps the spatial speedup
     (Amdahl behaviour reproduced in experiment F8/F6).
+
+    Example
+    -------
+    >>> costs = splitsolve_flops(9, 2, 2)
+    >>> costs["total"] == 2 * costs["domain"] + costs["interface"]
+    True
     """
     if n_domains < 1:
         raise ValueError("need at least one domain")
     interior = n_blocks - (n_domains - 1)
     per_domain_blocks = max(interior // n_domains, 1)
-    domain = block_lu_factor_flops(per_domain_blocks, m) + 2 * block_column_solve_flops(
-        per_domain_blocks, m
+    domain = (
+        block_lu_factor_flops(per_domain_blocks, m)
+        + block_column_solve_flops(per_domain_blocks, m, column=0)
+        + block_column_solve_flops(
+            per_domain_blocks, m, column=per_domain_blocks - 1
+        )
     )
     n_sep = n_domains - 1
     interface = (
@@ -141,7 +265,17 @@ def splitsolve_flops(n_blocks: int, m: int, n_domains: int) -> dict:
 
 @dataclass
 class FlopCounter:
-    """Named accumulator for flop accounting across a run."""
+    """Named accumulator for flop accounting across a run.
+
+    Example
+    -------
+    >>> c = FlopCounter()
+    >>> c.add("rgf", 100.0); c.add("rgf", 50.0); c.add("wf", 50.0)
+    >>> c.total
+    200.0
+    >>> c.breakdown()[0]
+    ('rgf', 150.0, 0.75)
+    """
 
     counts: dict = field(default_factory=dict)
 

@@ -66,17 +66,41 @@ class SimulatedMachine:
         return self.n_cores * self.flops_per_core
 
     def time_compute(self, flops: float, n_cores: int = 1) -> float:
-        """Wall time to execute perfectly-parallel flops on n_cores."""
+        """Wall time to execute perfectly-parallel flops on n_cores.
+
+        Example
+        -------
+        >>> from repro.perf import JAGUAR_XT5
+        >>> JAGUAR_XT5.time_compute(10.4e9) == 1.0 / JAGUAR_XT5.dense_efficiency
+        True
+        """
         if n_cores < 1:
             raise ValueError("need at least one core")
         return flops / (n_cores * self.flops_per_core * self.dense_efficiency)
 
     def time_point_to_point(self, payload_bytes: float) -> float:
-        """One message between two nodes."""
+        """One message between two nodes.
+
+        Example
+        -------
+        >>> from repro.perf import JAGUAR_XT5
+        >>> JAGUAR_XT5.time_point_to_point(0.0) == JAGUAR_XT5.link_latency_s
+        True
+        """
         return self.link_latency_s + payload_bytes / self.link_bandwidth_Bps
 
     def time_collective(self, payload_bytes: float, participants: int) -> float:
-        """Tree collective (bcast/reduce/allreduce) over ``participants``."""
+        """Tree collective (bcast/reduce/allreduce) over ``participants``.
+
+        Example
+        -------
+        >>> from repro.perf import JAGUAR_XT5
+        >>> JAGUAR_XT5.time_collective(8.0, 1)          # nothing to exchange
+        0.0
+        >>> t2 = JAGUAR_XT5.time_collective(8.0, 2)     # one tree round
+        >>> JAGUAR_XT5.time_collective(8.0, 8) == 3 * t2
+        True
+        """
         if participants <= 1:
             return 0.0
         rounds = int(np.ceil(np.log2(participants)))

@@ -130,7 +130,19 @@ def predict(
     n_ranks: int,
     max_spatial: int = 64,
 ) -> ModelReport:
-    """Predict wall time and sustained Flop/s at a given rank count."""
+    """Predict wall time and sustained Flop/s at a given rank count.
+
+    Example
+    -------
+    >>> from repro.perf import JAGUAR_XT5, TransportWorkload, predict
+    >>> w = TransportWorkload(n_slabs=130, block_size=4000, n_bias=15,
+    ...                       n_k=21, n_energy=702, n_channels=30)
+    >>> r = predict(w, JAGUAR_XT5, 221130)
+    >>> r.groups
+    (15, 21, 702, 1)
+    >>> 1.0e15 < r.sustained_flops < 2.0e15   # the PFlop/s headline
+    True
+    """
     if n_ranks < 1:
         raise ValueError("need at least one rank")
     g_b, g_k, g_e, g_s = choose_level_sizes(
@@ -204,7 +216,16 @@ def strong_scaling(
     rank_counts,
     max_spatial: int = 64,
 ) -> list[ModelReport]:
-    """Fixed problem, growing rank counts."""
+    """Fixed problem, growing rank counts.
+
+    Example
+    -------
+    >>> from repro.perf import JAGUAR_XT5, TransportWorkload, strong_scaling
+    >>> w = TransportWorkload(n_slabs=40, block_size=500, n_energy=128)
+    >>> reports = strong_scaling(w, JAGUAR_XT5, [16, 64])
+    >>> reports[0].walltime_s > reports[1].walltime_s
+    True
+    """
     return [predict(workload, machine, int(p), max_spatial) for p in rank_counts]
 
 
@@ -215,7 +236,16 @@ def weak_scaling(
     grow: str = "n_energy",
     max_spatial: int = 64,
 ) -> list[ModelReport]:
-    """Problem grown proportionally to the rank count along one axis."""
+    """Problem grown proportionally to the rank count along one axis.
+
+    Example
+    -------
+    >>> from repro.perf import JAGUAR_XT5, TransportWorkload, weak_scaling
+    >>> base = TransportWorkload(n_slabs=40, block_size=500, n_energy=64)
+    >>> a, b = weak_scaling(base, JAGUAR_XT5, [16, 32], grow="n_energy")
+    >>> b.total_flops == 2 * a.total_flops   # doubled work on doubled ranks
+    True
+    """
     if grow not in ("n_energy", "n_k", "n_bias"):
         raise ValueError("grow must be one of n_energy, n_k, n_bias")
     base_ranks = int(rank_counts[0])

@@ -20,6 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability.tracer import get_tracer
+from ..perf.flops import zgemm_flops, zinverse_flops
+
 __all__ = ["BlockTridiagLU", "block_tridiag_matvec"]
 
 
@@ -94,6 +97,20 @@ class BlockTridiagLU:
                 self._dinv[i - 1] @ self._upper[i - 1]
             )
             self._dinv.append(np.linalg.inv(schur))
+        tracer = get_tracer()
+        if tracer.enabled:
+            # per block: 1 inversion; interior blocks add the two
+            # elimination GEMMs (dinv @ upper then lower @ product)
+            sizes = self.sizes
+            fl = zinverse_flops(int(sizes[0]))
+            for i in range(1, n):
+                a, b = int(sizes[i - 1]), int(sizes[i])
+                fl += (
+                    zgemm_flops(a, b, a)
+                    + zgemm_flops(b, b, a)
+                    + zinverse_flops(b)
+                )
+            tracer.add_flops("block_lu.factor", fl)
 
     # ------------------------------------------------------------------
     def solve(self, rhs_blocks):
@@ -117,6 +134,20 @@ class BlockTridiagLU:
         x[n - 1] = self._dinv[n - 1] @ y[n - 1]
         for i in range(n - 2, -1, -1):
             x[i] = self._dinv[i] @ (y[i] - self._upper[i] @ x[i + 1])
+        tracer = get_tracer()
+        if tracer.enabled:
+            sizes = self.sizes
+            r = y[0].shape[1] if y[0].ndim == 2 else 1
+            fl = zgemm_flops(int(sizes[n - 1]), r, int(sizes[n - 1]))
+            for i in range(1, n):
+                a, b = int(sizes[i - 1]), int(sizes[i])
+                # forward: dinv_{i-1} @ y then lower @ (.)
+                fl += zgemm_flops(a, r, a) + zgemm_flops(b, r, a)
+            for i in range(n - 2, -1, -1):
+                a, b = int(sizes[i]), int(sizes[i + 1])
+                # backward: upper @ x then dinv @ (.)
+                fl += zgemm_flops(a, r, b) + zgemm_flops(a, r, a)
+            tracer.add_flops("block_lu.solve", fl)
         return x
 
     def solve_block_column(self, j: int):
@@ -150,6 +181,21 @@ class BlockTridiagLU:
         for i in range(n):
             if x[i] is None:
                 x[i] = np.zeros((self.sizes[i], m), dtype=complex)
+        tracer = get_tracer()
+        if tracer.enabled:
+            sizes = self.sizes
+            r = int(m)
+            fl = 0.0
+            for i in range(j + 1, n):
+                a, b = int(sizes[i - 1]), int(sizes[i])
+                # forward below j: dinv_{i-1} @ y then lower @ (.)
+                fl += zgemm_flops(a, r, a) + zgemm_flops(b, r, a)
+            fl += zgemm_flops(int(sizes[n - 1]), r, int(sizes[n - 1]))
+            for i in range(n - 2, -1, -1):
+                a, b = int(sizes[i]), int(sizes[i + 1])
+                # backward: upper @ x then dinv @ (.)
+                fl += zgemm_flops(a, r, b) + zgemm_flops(a, r, a)
+            tracer.add_flops("block_lu.column", fl)
         return x
 
     def diagonal_of_inverse(self):
@@ -164,6 +210,20 @@ class BlockTridiagLU:
         for i in range(n - 2, -1, -1):
             di = self._dinv[i]
             G[i] = di + di @ self._upper[i] @ G[i + 1] @ self._lower[i] @ di
+        tracer = get_tracer()
+        if tracer.enabled:
+            sizes = self.sizes
+            fl = 0.0
+            for i in range(n - 1):
+                a, b = int(sizes[i]), int(sizes[i + 1])
+                # ((di @ U) @ G) @ L) @ di, evaluated left to right
+                fl += (
+                    zgemm_flops(a, b, a)
+                    + zgemm_flops(a, b, b)
+                    + zgemm_flops(a, a, b)
+                    + zgemm_flops(a, a, a)
+                )
+            tracer.add_flops("block_lu.diagonal", fl)
         return G
 
     def corner_block(self, which: str = "lower-left"):

@@ -25,9 +25,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability.tracer import get_tracer, trace_span
+from ..perf.flops import zgemm_flops
 from .block_tridiagonal import BlockTridiagLU
 
 __all__ = ["SplitSolve", "partition_domains"]
+
+
+def _chain2_flops(a, b, c) -> float:
+    """Flops of the left-to-right triple product (a @ b) @ c."""
+    return zgemm_flops(a.shape[0], b.shape[1], a.shape[1]) + zgemm_flops(
+        a.shape[0], c.shape[1], b.shape[1]
+    )
 
 
 def partition_domains(n_blocks: int, n_domains: int) -> list[tuple[int, int]]:
@@ -87,55 +96,75 @@ class SplitSolve:
         # --- step 1-2: factor interiors (parallel across domains) ---------
         self._lu: list[BlockTridiagLU] = []
         self._corners: list[dict] = []
-        for first, last in self.interiors:
-            lu = BlockTridiagLU(
-                self._diag[first : last + 1],
-                self._upper[first:last],
-                self._lower[first:last],
-            )
-            self._lu.append(lu)
-            col_first = lu.solve_block_column(0)
-            col_last = (
-                lu.solve_block_column(lu.n_blocks - 1)
-                if lu.n_blocks > 1
-                else col_first
-            )
-            self._corners.append(
-                {
-                    "ll": col_first[0],
-                    "rl": col_first[-1],
-                    "lr": col_last[0],
-                    "rr": col_last[-1],
-                }
-            )
+        with trace_span(
+            "splitsolve.domain", category="kernel", n_domains=n_domains
+        ):
+            for first, last in self.interiors:
+                lu = BlockTridiagLU(
+                    self._diag[first : last + 1],
+                    self._upper[first:last],
+                    self._lower[first:last],
+                )
+                self._lu.append(lu)
+                col_first = lu.solve_block_column(0)
+                col_last = (
+                    lu.solve_block_column(lu.n_blocks - 1)
+                    if lu.n_blocks > 1
+                    else col_first
+                )
+                self._corners.append(
+                    {
+                        "ll": col_first[0],
+                        "rl": col_first[-1],
+                        "lr": col_last[0],
+                        "rr": col_last[-1],
+                    }
+                )
 
         # --- step 3: reduced interface system over separators --------------
         if self.separators:
-            s_diag, s_upper, s_lower = [], [], []
-            for p, g in enumerate(self.separators):
-                f_p = self.interiors[p][1]  # last interior slab left of g
-                b_next = self.interiors[p + 1][0]  # first slab right of g
-                L_left = self._lower[f_p]  # A_{g, f_p}
-                U_left = self._upper[f_p]  # A_{f_p, g}
-                U_right = self._upper[g]  # A_{g, b_next}
-                L_right = self._lower[g]  # A_{b_next, g}
-                S = (
-                    self._diag[g]
-                    - L_left @ self._corners[p]["rr"] @ U_left
-                    - U_right @ self._corners[p + 1]["ll"] @ L_right
-                )
-                s_diag.append(S)
-                if p + 1 < len(self.separators):
-                    f_next = self.interiors[p + 1][1]
-                    U_next = self._upper[f_next]  # A_{f_next, g_{p+1}}
-                    L_next = self._lower[f_next]  # A_{g_{p+1}, f_next}
-                    s_upper.append(
-                        -U_right @ self._corners[p + 1]["lr"] @ U_next
+            tracer = get_tracer()
+            schur_fl = 0.0
+            with trace_span("splitsolve.interface", category="kernel"):
+                s_diag, s_upper, s_lower = [], [], []
+                for p, g in enumerate(self.separators):
+                    f_p = self.interiors[p][1]  # last interior slab left of g
+                    b_next = self.interiors[p + 1][0]  # first slab right of g
+                    L_left = self._lower[f_p]  # A_{g, f_p}
+                    U_left = self._upper[f_p]  # A_{f_p, g}
+                    U_right = self._upper[g]  # A_{g, b_next}
+                    L_right = self._lower[g]  # A_{b_next, g}
+                    S = (
+                        self._diag[g]
+                        - L_left @ self._corners[p]["rr"] @ U_left
+                        - U_right @ self._corners[p + 1]["ll"] @ L_right
                     )
-                    s_lower.append(
-                        -L_next @ self._corners[p + 1]["rl"] @ L_right
-                    )
-            self._interface_lu = BlockTridiagLU(s_diag, s_upper, s_lower)
+                    s_diag.append(S)
+                    if tracer.enabled:
+                        schur_fl += _chain2_flops(
+                            L_left, self._corners[p]["rr"], U_left
+                        ) + _chain2_flops(
+                            U_right, self._corners[p + 1]["ll"], L_right
+                        )
+                    if p + 1 < len(self.separators):
+                        f_next = self.interiors[p + 1][1]
+                        U_next = self._upper[f_next]  # A_{f_next, g_{p+1}}
+                        L_next = self._lower[f_next]  # A_{g_{p+1}, f_next}
+                        s_upper.append(
+                            -U_right @ self._corners[p + 1]["lr"] @ U_next
+                        )
+                        s_lower.append(
+                            -L_next @ self._corners[p + 1]["rl"] @ L_right
+                        )
+                        if tracer.enabled:
+                            schur_fl += _chain2_flops(
+                                U_right, self._corners[p + 1]["lr"], U_next
+                            ) + _chain2_flops(
+                                L_next, self._corners[p + 1]["rl"], L_right
+                            )
+                if tracer.enabled:
+                    tracer.add_flops("splitsolve.schur", schur_fl)
+                self._interface_lu = BlockTridiagLU(s_diag, s_upper, s_lower)
         else:
             self._interface_lu = None
 
@@ -149,34 +178,43 @@ class SplitSolve:
 
         # interior pre-solves (parallel)
         y = [None] * self.n_domains
-        for p, (first, last) in enumerate(self.interiors):
-            y[p] = self._lu[p].solve(rhs[first : last + 1])
+        with trace_span("splitsolve.domain", category="kernel"):
+            for p, (first, last) in enumerate(self.interiors):
+                y[p] = self._lu[p].solve(rhs[first : last + 1])
 
         if self._interface_lu is None:
             return y[0]
 
         # interface RHS
-        s_rhs = []
-        for p, g in enumerate(self.separators):
-            f_p = self.interiors[p][1]
-            b_next = self.interiors[p + 1][0]
-            r = rhs[g] - self._lower[f_p] @ y[p][-1] - self._upper[g] @ y[p + 1][0]
-            s_rhs.append(r)
-        x_sep = self._interface_lu.solve(s_rhs)
+        with trace_span("splitsolve.interface", category="kernel"):
+            s_rhs = []
+            for p, g in enumerate(self.separators):
+                f_p = self.interiors[p][1]
+                b_next = self.interiors[p + 1][0]
+                r = (
+                    rhs[g]
+                    - self._lower[f_p] @ y[p][-1]
+                    - self._upper[g] @ y[p + 1][0]
+                )
+                s_rhs.append(r)
+            x_sep = self._interface_lu.solve(s_rhs)
 
         # interior back-substitution (parallel)
         x = [None] * n
-        for p, (first, last) in enumerate(self.interiors):
-            correction = [np.zeros_like(b) for b in rhs[first : last + 1]]
-            if p > 0:
-                g_left = self.separators[p - 1]
-                correction[0] = self._lower[g_left] @ x_sep[p - 1]
-            if p < self.n_domains - 1:
-                g_right = self.separators[p]
-                correction[-1] = correction[-1] + self._upper[last] @ x_sep[p]
-            delta = self._lu[p].solve(correction)
-            for k in range(last - first + 1):
-                x[first + k] = y[p][k] - delta[k]
+        with trace_span("splitsolve.domain", category="kernel"):
+            for p, (first, last) in enumerate(self.interiors):
+                correction = [np.zeros_like(b) for b in rhs[first : last + 1]]
+                if p > 0:
+                    g_left = self.separators[p - 1]
+                    correction[0] = self._lower[g_left] @ x_sep[p - 1]
+                if p < self.n_domains - 1:
+                    g_right = self.separators[p]
+                    correction[-1] = (
+                        correction[-1] + self._upper[last] @ x_sep[p]
+                    )
+                delta = self._lu[p].solve(correction)
+                for k in range(last - first + 1):
+                    x[first + k] = y[p][k] - delta[k]
         for p, g in enumerate(self.separators):
             x[g] = x_sep[p]
         return x

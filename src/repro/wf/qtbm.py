@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability.tracer import get_tracer, trace_span
 from ..solvers.banded import BandedLU, SparseLU
 from ..tb.hamiltonian import BlockTridiagonalHamiltonian
 from ..negf.rgf import assemble_system_blocks
@@ -137,6 +138,15 @@ class WFSolver:
         diag, upper, lower = assemble_system_blocks(
             self.H, energy, sig_l.sigma, sig_r.sigma
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Gordon Bell convention: the banded/sparse factorisation is
+            # charged its analytic cost at the actual block sizes (8 m^3
+            # per block), independent of the backend that executes it
+            tracer.add_flops(
+                "wf.factor",
+                sum(8.0 * float(d.shape[0]) ** 3 for d in diag),
+            )
         if self.factorization == "banded":
             return BandedLU(diag, upper, lower)
         from ..tb.hamiltonian import BlockTridiagonalHamiltonian as BTH
@@ -163,10 +173,22 @@ class WFSolver:
             return np.zeros((n, 0), dtype=complex)
         rhs = np.zeros((n, W.shape[1]), dtype=complex)
         rhs[offset : offset + W.shape[0], :] = W
+        tracer = get_tracer()
+        if tracer.enabled:
+            # 16 m^2 per block per injected channel (triangular sweeps)
+            tracer.add_flops(
+                "wf.backsub",
+                W.shape[1]
+                * sum(16.0 * float(s) ** 2 for s in self.H.block_sizes),
+            )
         return lu.solve(rhs)
 
     def solve(self, energy: float) -> WFResult:
         """Scattering states, transmission and spectral densities at E."""
+        with trace_span("wf.solve", category="kernel", energy=float(energy)):
+            return self._solve(energy)
+
+    def _solve(self, energy: float) -> WFResult:
         sig_l, sig_r = self.self_energies(energy)
         lu = self._factor(energy, sig_l, sig_r)
         offsets = self.H.block_offsets()

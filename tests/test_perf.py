@@ -53,9 +53,12 @@ class TestFlopFormulas:
         assert d2 == pytest.approx(2 * d1)
 
     def test_sancho_scaling(self):
+        # per iteration one inversion + 8 GEMMs, plus the final surface
+        # inversion (validated against instrumented runs in
+        # tests/test_observability.py)
         assert sancho_rubio_flops(100, 20) == 20 * (
             zinverse_flops(100) + 8 * zgemm_flops(100, 100, 100)
-        )
+        ) + zinverse_flops(100)
 
     def test_splitsolve_interface_grows_with_domains(self):
         a = splitsolve_flops(64, 100, 2)
