@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Regenerate the committed ``benchmarks/baselines/BENCH_*.json`` files.
+
+Runs exactly the benchmark tests that call ``record_baseline`` (the
+measured-baseline producers — currently the T3 RGF flop cross-check, the
+F3 energy-level scaling probe and the F5 local sustained-Flop/s run) so
+the baselines the regression gate (``repro doctor``,
+``repro.observability.check_against_baselines``) compares against match
+the code in the working tree.
+
+The instrumented *flop counts* in these files are deterministic — they
+change only when a kernel's algorithm changes, which is precisely when a
+refresh is the intended, reviewed action.  The *timing* fields
+(``wall_time_s``, ``sustained_flops``) are machine-dependent; the
+regression bands only warn on those, so refreshing on a different machine
+is safe.
+
+Usage::
+
+    python scripts/refresh_baselines.py [--check] [--dir DIR]
+
+``--check`` regenerates into a scratch directory and exits 1 if any
+deterministic (non-timing) field differs from the committed baselines —
+the mode the CI gate uses.  Without it, the committed files are
+rewritten in place (commit the diff deliberately).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+BASELINE_DIR = REPO / "benchmarks" / "baselines"
+
+#: The benchmark tests that write baselines, with the file each produces.
+PRODUCERS = [
+    ("benchmarks/bench_t3_kernels.py::test_t3_measured_flop_crosscheck",
+     "BENCH_t3_rgf.json"),
+    ("benchmarks/bench_f3_strong_scaling.py", "BENCH_f3_energy_level.json"),
+    ("benchmarks/bench_f5_petaflops.py", "BENCH_f5_local.json"),
+]
+
+#: Machine-dependent fields ignored by ``--check`` (warn-only in the gate).
+TIMING_FIELDS = (
+    "wall_time_s", "sustained_flops", "walltime", "seconds", "speedup",
+)
+
+
+def _is_timing(key: str) -> bool:
+    return (
+        key.startswith("time.")
+        or key.endswith("_s")
+        or any(t in key for t in TIMING_FIELDS)
+    )
+
+
+def run_producers(out_dir: Path) -> int:
+    """Run every producer benchmark with baselines redirected to out_dir."""
+    env = dict(os.environ)
+    env["REPRO_BENCH_DIR"] = str(out_dir)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    rc = 0
+    for target, produced in PRODUCERS:
+        print(f"==> {target}  ->  {produced}")
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-x", "-q",
+             "--benchmark-disable", target],
+            cwd=REPO, env=env,
+        )
+        if proc.returncode:
+            print(f"FAILED: {target} (exit {proc.returncode})",
+                  file=sys.stderr)
+            rc = proc.returncode
+    return rc
+
+
+def compare(fresh_dir: Path, committed_dir: Path) -> int:
+    """Exit status 1 if any deterministic field drifted."""
+    drift = 0
+    for _, produced in PRODUCERS:
+        fresh_path = fresh_dir / produced
+        committed_path = committed_dir / produced
+        if not fresh_path.exists():
+            print(f"MISSING fresh {produced} (producer failed?)")
+            drift = 1
+            continue
+        if not committed_path.exists():
+            print(f"NEW {produced}: no committed baseline yet")
+            drift = 1
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        committed = json.loads(committed_path.read_text())
+        keys = sorted(set(fresh) | set(committed))
+        for key in keys:
+            if _is_timing(key):
+                continue
+            a, b = committed.get(key), fresh.get(key)
+            if a != b:
+                print(f"DRIFT {produced}:{key}: committed {a!r} != "
+                      f"fresh {b!r}")
+                drift = 1
+    if not drift:
+        print("baselines: all deterministic fields match")
+    return drift
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="regenerate into a scratch dir and diff deterministic fields "
+             "against the committed baselines instead of overwriting them",
+    )
+    parser.add_argument(
+        "--dir", default=None,
+        help=f"output directory (default: {BASELINE_DIR})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with tempfile.TemporaryDirectory(prefix="repro-baselines-") as tmp:
+            rc = run_producers(Path(tmp))
+            if rc:
+                return rc
+            return compare(Path(tmp), BASELINE_DIR)
+
+    out_dir = Path(args.dir) if args.dir else BASELINE_DIR
+    rc = run_producers(out_dir)
+    if rc:
+        return rc
+    print(f"refreshed baselines in {out_dir}; review and commit the diff")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

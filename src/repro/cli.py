@@ -1,9 +1,12 @@
 """Command-line interface: device simulation from JSON specs.
 
-Five subcommands mirror the workflows of the library:
+Six subcommands mirror the workflows of the library:
 
 * ``simulate`` — one self-consistent bias point of a device spec;
 * ``sweep``    — a transfer (Id-Vg) sweep;
+* ``doctor``   — observability health check: a small monitored sweep with
+  convergence tables, physics-invariant verdicts, the per-level
+  communication matrix and a perf-baseline comparison;
 * ``bands``    — bulk band-structure summary of a material;
 * ``scaling``  — the performance-model projection table;
 * ``trace``    — summarise a trace JSON produced by ``--trace``.
@@ -12,6 +15,9 @@ Five subcommands mirror the workflows of the library:
 an active :class:`repro.observability.Tracer`, writes a
 ``chrome://tracing``-loadable timeline to FILE, prints the measured
 sustained-Flop/s report and embeds it in the result JSON (``"perf"`` key).
+They also accept ``--metrics FILE``: the run executes under an active
+:class:`repro.observability.MetricsRegistry` and its snapshot (counters,
+gauges, histograms, convergence series) is written to FILE as JSON.
 
 Everything reads/writes plain JSON so the CLI composes with shell
 pipelines; ``python -m repro <subcommand> --help`` for options.
@@ -55,6 +61,30 @@ def _finish_trace(tracer, trace_path):
     return report.to_dict()
 
 
+@contextmanager
+def _metering(metrics_path):
+    """Activate a fresh metrics registry (no-op when path is falsy)."""
+    if not metrics_path:
+        yield None
+        return
+    from .observability import MetricsRegistry, use_metrics
+
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        yield registry
+
+
+def _finish_metrics(registry, metrics_path):
+    """Write the metrics snapshot JSON; returns the snapshot or None."""
+    if registry is None:
+        return None
+    snap = registry.snapshot()
+    snap.write(metrics_path)
+    print(f"metrics: {metrics_path} "
+          f"({len(snap.counters)} counters, {len(snap.series)} series)")
+    return snap
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -74,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE",
         help="measure the run: write a Chrome-trace JSON timeline to FILE "
              "and report measured sustained Flop/s",
+    )
+    p_sim.add_argument(
+        "--metrics", metavar="FILE",
+        help="monitor the run: write the metrics-registry snapshot "
+             "(counters, convergence series, histograms) to FILE as JSON",
     )
 
     p_sweep = sub.add_parser("sweep", help="transfer (Id-Vg) sweep")
@@ -110,6 +145,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure the run: write a Chrome-trace JSON timeline to FILE "
              "and report measured sustained Flop/s",
     )
+    p_sweep.add_argument(
+        "--metrics", metavar="FILE",
+        help="monitor the run: write the metrics-registry snapshot "
+             "(counters, convergence series, histograms) to FILE as JSON",
+    )
+
+    p_doc = sub.add_parser(
+        "doctor",
+        help="observability health check: monitored sweep, invariant "
+             "verdicts, per-level comm matrix, baseline comparison",
+    )
+    p_doc.add_argument("spec", help="device spec JSON file")
+    p_doc.add_argument("--vg-start", type=float, default=-0.2)
+    p_doc.add_argument("--vg-stop", type=float, default=0.0)
+    p_doc.add_argument("--vg-points", type=int, default=2)
+    p_doc.add_argument("--vd", type=float, default=0.05)
+    p_doc.add_argument("--method", choices=("wf", "rgf"), default="wf")
+    p_doc.add_argument("--n-energy", type=int, default=41)
+    p_doc.add_argument(
+        "--ranks", type=int, default=64,
+        help="modelled communicator size for the per-level comm matrix",
+    )
+    p_doc.add_argument(
+        "--max-spatial", type=int, default=2,
+        help="spatial (SplitSolve) level cap of the modelled rank grid",
+    )
+    p_doc.add_argument(
+        "--strict", action="store_true",
+        help="escalate invariant violations to PhysicsInvariantError and "
+             "let the baseline comparison fail (default: warn-only)",
+    )
+    p_doc.add_argument(
+        "--inject-faults", type=int, metavar="SEED", default=None,
+        help="fault drill: corrupt one density with the deterministic "
+             "injector and verify the violation is recorded, not fatal",
+    )
+    p_doc.add_argument(
+        "--baselines", metavar="DIR", default=None,
+        help="baseline directory (default: benchmarks/baselines/ of the "
+             "repository this package runs from)",
+    )
+    p_doc.add_argument(
+        "--metrics", metavar="FILE",
+        help="also write the full metrics snapshot to FILE as JSON",
+    )
 
     p_bands = sub.add_parser("bands", help="bulk band summary of a material")
     p_bands.add_argument("material", help="registry name, e.g. Si-sp3s*")
@@ -142,7 +222,8 @@ def _cmd_simulate(args) -> int:
         built, method=args.method, n_energy=args.n_energy
     )
     scf = SelfConsistentSolver(built, transport)
-    with _tracing(args.trace, "simulate") as tracer:
+    with _tracing(args.trace, "simulate") as tracer, \
+            _metering(args.metrics) as registry:
         result = scf.run(args.vg, args.vd)
     print(f"device : {built.spec.name} ({built.n_atoms} atoms, "
           f"{built.device.n_slabs} slabs)")
@@ -151,6 +232,7 @@ def _cmd_simulate(args) -> int:
           f"iterations={result.n_iterations}")
     print(f"current: {format_si(result.transport.current_a, 'A')}")
     perf = _finish_trace(tracer, args.trace)
+    _finish_metrics(registry, args.metrics)
     if args.output:
         payload = {
             "v_gate": args.vg,
@@ -202,7 +284,8 @@ def _cmd_sweep(args) -> int:
         injector=injector,
     )
     vgs = np.linspace(args.vg_start, args.vg_stop, args.vg_points)
-    with _tracing(args.trace, "sweep") as tracer:
+    with _tracing(args.trace, "sweep") as tracer, \
+            _metering(args.metrics) as registry:
         curve = sweep.transfer_curve(vgs, v_drain=args.vd)
     rows = [
         (f"{p.v_gate:+.3f}", format_si(p.current_a, "A"),
@@ -222,6 +305,7 @@ def _cmd_sweep(args) -> int:
     print(f"on/off ratio: {curve.on_off_ratio():.3e}")
     print(curve.report.summary())
     perf = _finish_trace(tracer, args.trace)
+    _finish_metrics(registry, args.metrics)
     if perf is None and curve.perf is not None:  # pragma: no cover
         perf = curve.perf.to_dict()
     if args.output:
@@ -236,6 +320,192 @@ def _cmd_sweep(args) -> int:
         save_json(payload, args.output)
         print(f"wrote: {args.output}")
     return 0 if all(p.converged for p in curve.points) else 2
+
+
+def _default_baseline_dir():
+    """benchmarks/baselines/ of the source tree this package runs from."""
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+
+
+def _t3_probe():
+    """Re-run the T3 RGF kernel probe; returns its flat measured metrics.
+
+    Deliberately identical in shapes to the committed ``BENCH_t3_rgf``
+    baseline (the ``grid_transport_system(n_x=16, n_yz=8)`` pass of
+    ``benchmarks/bench_t3_kernels.py``): the instrumented flop counts are
+    deterministic, so any drift against the baseline means the kernel's
+    algorithm changed; timings only get warn-band scrutiny.
+    """
+    import numpy as np
+
+    from .lattice import partition_into_slabs, rectangular_grid_device
+    from .negf import contact_self_energy
+    from .negf.rgf import assemble_system_blocks
+    from .observability import Tracer, flat_metrics, use_tracer
+    from .solvers import BlockTridiagLU
+    from .tb import build_device_hamiltonian, single_band_material
+
+    energy = 0.6
+    mat = single_band_material(m_rel=0.3, spacing_nm=0.25)
+    s = rectangular_grid_device(0.25, 16, 8, 8)
+    dev = partition_into_slabs(s, 0.25, 0.25)
+    pot = np.zeros(s.n_atoms)
+    slab = dev.slab_of_atom()
+    mid = dev.n_slabs // 2
+    pot[(slab >= mid - 1) & (slab <= mid + 1)] = 0.1
+    H = build_device_hamiltonian(dev, mat, potential=pot)
+    sig_l = contact_self_energy(energy, H.diagonal[0], H.upper[0], side="left")
+    sig_r = contact_self_energy(
+        energy, H.diagonal[-1], H.upper[-1], side="right"
+    )
+    diag, upper, lower = assemble_system_blocks(
+        H, energy, sig_l.sigma, sig_r.sigma
+    )
+    tracer = Tracer()
+    with use_tracer(tracer):
+        lu = BlockTridiagLU(diag, upper, lower)
+        lu.solve_block_column(0)
+        lu.solve_block_column(len(diag) - 1)
+        lu.diagonal_of_inverse()
+    return flat_metrics(tracer)
+
+
+def _cmd_doctor(args) -> int:
+    from .core import (
+        DistributedTransport,
+        IVSweep,
+        SelfConsistentSolver,
+        TransportCalculation,
+    )
+    from .errors import PhysicsInvariantError
+    from .io import format_si, format_table
+    from .observability import (
+        InvariantMonitor,
+        MetricsRegistry,
+        check_against_baselines,
+        use_metrics,
+        use_monitor,
+    )
+    from .parallel import LEVEL_NAMES, CommTrace, TracedComm
+
+    built = _load_built(args.spec)
+    transport = TransportCalculation(
+        built, method=args.method, n_energy=args.n_energy
+    )
+    scf = SelfConsistentSolver(built, transport)
+    registry = MetricsRegistry()
+    monitor = InvariantMonitor(strict=args.strict)
+    vgs = np.linspace(args.vg_start, args.vg_stop, args.vg_points)
+    trace = CommTrace()
+    print(f"doctor : {built.spec.name} ({built.n_atoms} atoms, "
+          f"{built.device.n_slabs} slabs, method={args.method})")
+
+    try:
+        with use_metrics(registry), use_monitor(monitor):
+            # 1. monitored mini-sweep (SCF convergence + kernel invariants)
+            IVSweep(scf).transfer_curve(vgs, v_drain=args.vd)
+            # 2. modelled 4-level distributed solve for the comm matrix
+            dist = DistributedTransport(
+                transport, max_spatial=args.max_spatial
+            )
+            comm = TracedComm(1, 0, trace)
+            dist.solve_bias(
+                scf.atom_potential_ev(
+                    scf.initial_potential(vgs[-1], args.vd)
+                ),
+                args.vd, comm, n_ranks=args.ranks,
+            )
+            organic_violations = monitor.n_violations
+            # 3. fault drill: corrupt a density and verify the monitor
+            #    flags it in metrics without killing the run (non-strict)
+            if args.inject_faults is not None:
+                from .resilience import FaultInjector
+                from .resilience.faults import nan_like
+
+                injector = FaultInjector(
+                    seed=args.inject_faults, rate=1.0, actions=("nan",),
+                    sites=("task",),
+                )
+                mode = injector.fire("task", ("doctor", "density-drill"))
+                if mode == "nan":
+                    broken = nan_like(np.ones(built.n_atoms))
+                    try:
+                        monitor.check_density(broken, drill="injected")
+                        print("fault drill: injected NaN density recorded "
+                              "as a violation; run continued (non-strict)")
+                    except PhysicsInvariantError as exc:
+                        print(f"fault drill: strict mode escalated as "
+                              f"designed ({exc})")
+    except PhysicsInvariantError as exc:
+        print(f"doctor : FAIL (strict invariant escalation: {exc})")
+        return 1
+
+    snap = registry.snapshot()
+
+    # --- SCF convergence tables ---------------------------------------
+    residual_series = snap.with_prefix("series", "scf.residual_v")
+    for key in sorted(residual_series):
+        label = key[len("scf.residual_v"):] or "{}"
+        poisson_key = "scf.poisson_iterations" + label
+        poisson = dict(snap.series.get(poisson_key, ()))
+        rows = [
+            (step, f"{value:.3e}",
+             str(int(poisson.get(step, 0))) if poisson else "-")
+            for step, value in residual_series[key]
+        ]
+        print(format_table(
+            ["iter", "max|dV| (V)", "Poisson iters"], rows,
+            title=f"SCF convergence {label}",
+        ))
+    converged = int(snap.counter("scf.converged"))
+    unconverged = int(snap.counter("scf.unconverged"))
+    print(f"SCF    : {converged} bias point(s) converged, "
+          f"{unconverged} not converged")
+
+    # --- invariant verdicts -------------------------------------------
+    checks = snap.total("invariant.checks")
+    print(f"checks : {int(checks)} invariant evaluations")
+    print(monitor.summary())
+
+    # --- per-level communication matrix -------------------------------
+    by_level = trace.by_level()
+    level_rows = []
+    for name in LEVEL_NAMES:
+        row = by_level.get(name, {"bytes": 0, "messages": 0})
+        group = snap.gauge("decomposition.group_size", 0.0, level=name)
+        level_rows.append((
+            name, int(group or 0), row["messages"],
+            format_si(float(row["bytes"]), "B"),
+        ))
+    print(format_table(
+        ["level", "group size", "messages", "bytes"], level_rows,
+        title=f"modelled comm volume over {args.ranks} ranks "
+              f"(paper's 4-level decomposition)",
+    ))
+
+    # --- perf-regression gate against the committed baseline ----------
+    baseline_dir = args.baselines or _default_baseline_dir()
+    report = check_against_baselines(
+        _t3_probe(), baseline_dir, "t3_rgf", strict=args.strict
+    )
+    print(report.summary())
+
+    if args.metrics:
+        snap.write(args.metrics)
+        print(f"metrics: {args.metrics}")
+
+    if organic_violations:
+        print(f"doctor : FAIL ({organic_violations} organic invariant "
+              f"violation(s))")
+        return 1
+    if report.verdict == "fail":
+        print("doctor : FAIL (performance baseline regression)")
+        return 2
+    print(f"doctor : OK (verdict {report.verdict}, "
+          f"{monitor.n_violations - organic_violations} drill violation(s))")
+    return 0
 
 
 def _cmd_bands(args) -> int:
@@ -325,6 +595,7 @@ def main(argv=None) -> int:
     handler = {
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "doctor": _cmd_doctor,
         "bands": _cmd_bands,
         "scaling": _cmd_scaling,
         "trace": _cmd_trace,

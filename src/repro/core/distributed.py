@@ -22,7 +22,9 @@ import numpy as np
 
 from ..errors import NumericalBreakdownError, RankFailure, TaskFailure
 from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
+from ..observability.metrics import get_metrics
 from ..observability.tracer import get_tracer
+from ..parallel.comm import payload_nbytes
 from ..parallel.decomposition import Decomposition, choose_level_sizes
 from ..physics.grids import EnergyGrid
 from .transport import TransportCalculation
@@ -56,10 +58,19 @@ class DistributedTransport:
     ----------
     calculation : TransportCalculation
         The configured transport facade (device, kernel, grids).
+    max_spatial : int
+        Upper bound on the spatial (SplitSolve) level of the rank grid.
+        The default 1 keeps the historical (k, E)-only decomposition;
+        the doctor CLI raises it to exercise all four levels of the
+        per-level communication accounting.
     """
 
-    def __init__(self, calculation: TransportCalculation):
+    def __init__(self, calculation: TransportCalculation,
+                 max_spatial: int = 1):
+        if max_spatial < 1:
+            raise ValueError("max_spatial must be >= 1")
         self.calc = calculation
+        self.max_spatial = max_spatial
 
     # ------------------------------------------------------------------
     def decomposition(self, n_ranks: int, v_drain: float,
@@ -69,12 +80,56 @@ class DistributedTransport:
         kgrid = self.calc.built.momentum_grid
         groups = choose_level_sizes(
             n_ranks, n_bias=1, n_k=len(kgrid), n_energy=len(grid),
-            max_spatial=1,
+            max_spatial=self.max_spatial,
         )
         decomp = Decomposition(
             n_bias=1, n_k=len(kgrid), n_energy=len(grid), groups=groups
         )
         return decomp, grid
+
+    # ------------------------------------------------------------------
+    def _record_level_traffic(
+        self, trace, decomp: Decomposition, potential_ev: np.ndarray,
+        density: np.ndarray, n_tasks: int,
+    ) -> None:
+        """Attribute the bias point's modelled traffic to the four levels.
+
+        The production reduction is hierarchical — spatial domains
+        exchange interface blocks within each (k, E) solve, energy groups
+        reduce their quadrature partials, momentum groups reduce the
+        k-sums, and the bias root broadcasts inputs / collects the final
+        observables — so each stage is recorded against its own level.
+        Events are recorded directly (not via ``TracedComm`` collectives,
+        whose modelled ``allreduce`` would scale the actual values).
+        """
+        g_b, g_k, g_e, g_s = decomp.groups
+        obs_bytes = payload_nbytes(density) + 8  # density + current scalar
+        # bias root broadcasts the converged potential to every rank
+        trace.record(
+            "bcast", payload_nbytes(potential_ev), decomp.n_ranks,
+            level="bias",
+        )
+        # energy groups reduce quadrature partials of (current, density)
+        if g_e > 1:
+            trace.record("allreduce", obs_bytes, g_e, level="energy")
+        # momentum groups reduce the k-sums of the same observables
+        if g_k > 1:
+            trace.record("allreduce", obs_bytes, g_k, level="momentum")
+        if g_s > 1:
+            # SplitSolve spatial exchange: per (k, E) task each interior
+            # domain boundary carries one m x m complex128 coupling block
+            built = self.calc.built
+            n_orb_total = built.n_atoms * built.material.orbitals_per_atom
+            n_slabs = max(int(getattr(built.device, "n_slabs", 1)), 1)
+            m = max(n_orb_total // n_slabs, 1)
+            boundary_bytes = m * m * 16
+            trace.record(
+                "sendrecv", n_tasks * (g_s - 1) * boundary_bytes, g_s,
+                level="spatial",
+            )
+        # bias root gathers the reduced observables of this bias point
+        trace.record("gather", obs_bytes * max(g_b, 1), max(g_b, 1),
+                     level="bias")
 
     def rank_partial(
         self,
@@ -283,6 +338,21 @@ class DistributedTransport:
             current = comm.allreduce(mine.current_a, op="sum")
             density = comm.allreduce(mine.density_per_atom, op="sum")
             n_tasks = comm.allreduce(mine.n_tasks, op="sum")
+        trace = getattr(comm, "trace", None)
+        if trace is not None:
+            self._record_level_traffic(
+                trace, decomp, potential_ev, density, n_tasks
+            )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("transport.bias_solves", 1.0)
+            metrics.inc("transport.tasks", float(n_tasks))
+            metrics.gauge("transport.energy_points", float(len(grid)))
+            for name, g in zip(
+                ("bias", "momentum", "energy", "spatial"), decomp.groups
+            ):
+                metrics.gauge("decomposition.group_size", float(g),
+                              level=name)
         return {
             "current_a": float(current),
             "density_per_atom": density,

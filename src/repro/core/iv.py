@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import NumericalBreakdownError, TaskFailure
 from ..observability import PerfReport, get_tracer
+from ..observability.metrics import MetricsSnapshot, get_metrics
 from ..perf.flops import FlopCounter
 from ..resilience import ResilienceReport, SCFRescue, SweepCheckpoint
 from ..resilience.faults import non_finite
@@ -85,12 +86,16 @@ class IVCurve:
     ``perf`` is the *measured* :class:`repro.observability.PerfReport` —
     wall time, instrumented flop counts and sustained Flop/s — attached
     whenever the sweep ran under an active tracer, None otherwise.
+    ``metrics`` is the convergence/invariant telemetry
+    (:class:`repro.observability.MetricsSnapshot`) of the sweep, attached
+    whenever it ran under an active metrics registry.
     """
 
     points: list = field(default_factory=list)
     flops: FlopCounter = field(default_factory=FlopCounter)
     report: ResilienceReport = field(default_factory=ResilienceReport)
     perf: PerfReport | None = None
+    metrics: MetricsSnapshot | None = None
 
     def currents(self) -> np.ndarray:
         """Currents (A) in sweep order."""
@@ -314,6 +319,9 @@ class IVSweep:
                 )
         if tracer.enabled:
             curve.perf = PerfReport.from_tracer(tracer)
+        metrics = get_metrics()
+        if metrics.enabled:
+            curve.metrics = metrics.snapshot()
         return curve
 
     # ------------------------------------------------------------------

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import SCFConvergenceError
+from ..observability.invariants import get_monitor
+from ..observability.metrics import get_metrics
 from ..perf.flops import FlopCounter
 from ..poisson.charge import QuantumCorrectedCharge, SemiclassicalCharge
 from ..poisson.nonlinear import AndersonMixer, NonlinearPoisson
@@ -232,8 +234,12 @@ class SelfConsistentSolver:
         residuals: list[float] = []
         converged = False
         transport_result: TransportResult | None = None
+        metrics = get_metrics()
+        bias_labels = {"vg": f"{v_gate:.4g}", "vd": f"{v_drain:.4g}"}
+        if metrics.enabled:
+            metrics.gauge("scf.damping_beta", self.beta)
 
-        for _ in range(self.max_iterations):
+        for iteration in range(self.max_iterations):
             u_atoms = self.atom_potential_ev(phi)
             transport_result = self.transport.solve_bias(u_atoms, v_drain)
             flops.merge(transport_result.flops)
@@ -244,9 +250,23 @@ class SelfConsistentSolver:
             model = QuantumCorrectedCharge(
                 n_reference=n_nodes, phi_reference=phi, kT=built.spec.kT
             )
-            phi_new = solver.solve(model, phi0=phi, tol=1e-9, max_iter=40).phi
+            poisson_result = solver.solve(
+                model, phi0=phi, tol=1e-9, max_iter=40
+            )
+            phi_new = poisson_result.phi
             residual = float(np.abs(phi_new - phi).max())
             residuals.append(residual)
+            if metrics.enabled:
+                metrics.record(
+                    "scf.residual_v", residual, step=iteration, **bias_labels
+                )
+                metrics.record(
+                    "scf.poisson_iterations",
+                    float(getattr(poisson_result, "n_iterations", 0)),
+                    step=iteration, **bias_labels,
+                )
+                metrics.inc("scf.iterations", 1.0)
+                metrics.observe("scf.residual_hist", residual)
             phi = mixer.update(phi, phi_new)
             phi[built.gate_mask] = v_gate
             if residual < self.tol_v:
@@ -267,6 +287,25 @@ class SelfConsistentSolver:
         flops.merge(ramp_flops)
         if ramp_checkpoint is not None:
             ramp_checkpoint.clear()
+        if metrics.enabled:
+            metrics.inc("scf.bias_points", 1.0)
+            metrics.inc(
+                "scf.converged" if converged else "scf.unconverged", 1.0
+            )
+            metrics.observe(
+                "scf.iterations_per_bias", float(len(residuals))
+            )
+        monitor = get_monitor()
+        if monitor.enabled:
+            monitor.check_density(
+                final.density_per_atom, v_gate=bias_labels["vg"],
+                v_drain=bias_labels["vd"],
+            )
+            monitor.check_charge_neutrality(
+                float(np.sum(final.density_per_atom)),
+                float(np.sum(built.donors_per_atom)),
+                v_gate=bias_labels["vg"], v_drain=bias_labels["vd"],
+            )
         return SCFResult(
             phi=phi,
             potential_ev=self.atom_potential_ev(phi),

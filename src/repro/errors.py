@@ -23,6 +23,7 @@ __all__ = [
     "SurfaceGFConvergenceError",
     "SCFConvergenceError",
     "NumericalBreakdownError",
+    "PhysicsInvariantError",
     "TaskFailure",
     "RankFailure",
 ]
@@ -96,6 +97,36 @@ class SCFConvergenceError(ConvergenceError):
 
 class NumericalBreakdownError(ReproError):
     """An observable came back NaN/inf — the solve silently broke down."""
+
+
+class PhysicsInvariantError(ReproError):
+    """A physics invariant was violated beyond tolerance (strict mode).
+
+    Raised only by a strict :class:`repro.observability.InvariantMonitor`;
+    the default non-strict monitor records the violation into the metrics
+    registry and lets the run continue.
+
+    Attributes
+    ----------
+    invariant : str
+        Name of the violated invariant (``"current_conservation"``,
+        ``"transmission_bounds"``, ...).
+    value, threshold : float
+        Observed defect and the tolerance it exceeded.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invariant: str = "",
+        value: float = float("nan"),
+        threshold: float = float("nan"),
+        injected: bool = False,
+    ):
+        super().__init__(message, injected=injected)
+        self.invariant = invariant
+        self.value = value
+        self.threshold = threshold
 
 
 class TaskFailure(ReproError):

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability.invariants import get_monitor
 from ..observability.tracer import trace_span
 from ..solvers.block_tridiagonal import BlockTridiagLU
 from ..tb.hamiltonian import BlockTridiagonalHamiltonian
@@ -178,12 +179,31 @@ class RGFSolver:
         ) / (2.0 * np.pi)
         dos = -np.concatenate([np.diag(g).imag for g in gdiag]) / np.pi
 
+        n_l = sig_l.n_open_channels()
+        n_r = sig_r.n_open_channels()
+        monitor = get_monitor()
+        if monitor.enabled:
+            monitor.check_gamma(gam_l, kernel="rgf", side="left",
+                                energy=energy)
+            monitor.check_gamma(gam_r, kernel="rgf", side="right",
+                                energy=energy)
+            # below the band edge (zero open channels) eta-broadening
+            # leaves a tiny positive T; the bound only binds with modes
+            if min(n_l, n_r) > 0:
+                monitor.check_transmission(
+                    float(t.real), min(n_l, n_r), kernel="rgf",
+                    energy=energy,
+                )
+            monitor.check_density(spectral_l, kernel="rgf", side="left",
+                                  energy=energy)
+            monitor.check_density(spectral_r, kernel="rgf", side="right",
+                                  energy=energy)
         return RGFResult(
             energy=energy,
             transmission=float(t.real),
             dos=dos,
             spectral_left=spectral_l,
             spectral_right=spectral_r,
-            n_channels_left=sig_l.n_open_channels(),
-            n_channels_right=sig_r.n_open_channels(),
+            n_channels_left=n_l,
+            n_channels_right=n_r,
         )

@@ -34,10 +34,18 @@ import numpy as np
 import scipy.linalg as sla
 
 from ..errors import SurfaceGFConvergenceError
+from ..observability.metrics import get_metrics, metric_key
 from ..observability.tracer import get_tracer
 from ..perf.flops import sancho_rubio_flops
 
 __all__ = ["sancho_rubio", "eigen_surface_gf", "lead_modes", "LeadModes"]
+
+# pre-flattened histogram keys: this observe runs once per self-energy
+# evaluation, i.e. twice per energy point per SCF iteration
+_ITER_KEYS = {
+    side: metric_key("surface_gf.iterations", {"side": side})
+    for side in ("left", "right")
+}
 
 
 def sancho_rubio(
@@ -96,6 +104,9 @@ def sancho_rubio(
         if np.linalg.norm(alpha, ord="fro") < tol:
             break
     else:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("surface_gf.nonconverged", 1.0, side=side)
         raise SurfaceGFConvergenceError(
             f"Sancho-Rubio did not converge in {max_iter} iterations "
             f"(E = {energy}, eta = {eta}); increase eta",
@@ -108,6 +119,9 @@ def sancho_rubio(
         # per iteration: one inversion + four a @ g @ b products (8 GEMMs),
         # plus the final surface inversion — charged only on convergence
         tracer.add_flops("surface_gf.sancho", sancho_rubio_flops(m, it))
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.observe_key(_ITER_KEYS[side], float(it))
     return g, it
 
 

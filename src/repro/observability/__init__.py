@@ -18,6 +18,18 @@ This package is the measurement substrate of the reproduction:
   timeline JSON and a flat metrics dict for benchmark baselines).
 * :func:`validate_flops` — asserts the analytic formulas of
   :mod:`repro.perf.flops` match the instrumented counts exactly.
+* :class:`MetricsRegistry` / :class:`MetricsSnapshot` — process-wide
+  counters, gauges, log-linear histograms and convergence series with
+  labels, snapshot/merge/diff and JSON export (``--metrics FILE``);
+  the default is a zero-overhead :class:`NullMetrics`.
+* :class:`InvariantMonitor` — continuous physics monitors (current
+  conservation, transmission bounds, density non-negativity, charge
+  neutrality, Γ Hermiticity) evaluated inside the kernels; violations
+  are recorded into the metrics registry, or raised as
+  :class:`repro.errors.PhysicsInvariantError` in strict mode.
+* :func:`compare_metrics` / :func:`check_against_baselines` — the
+  perf-regression gate over ``benchmarks/baselines/BENCH_*.json`` with
+  per-metric tolerance bands and pass/warn/fail verdicts.
 
 Typical use::
 
@@ -30,6 +42,36 @@ Typical use::
 """
 
 from .export import chrome_trace, flat_metrics, write_chrome_trace
+from .invariants import (
+    NULL_MONITOR,
+    InvariantMonitor,
+    InvariantViolation,
+    NullInvariantMonitor,
+    get_monitor,
+    set_monitor,
+    use_monitor,
+)
+from .metrics import (
+    NULL_METRICS,
+    LogLinearHistogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetrics,
+    get_metrics,
+    metric_key,
+    set_metrics,
+    use_metrics,
+)
+from .regression import (
+    DEFAULT_BANDS,
+    MetricVerdict,
+    RegressionReport,
+    ToleranceBand,
+    check_against_baselines,
+    compare_metrics,
+    load_baseline,
+    load_baselines,
+)
 from .report import PerfReport
 from .tracer import (
     NULL_TRACER,
@@ -69,4 +111,31 @@ __all__ = [
     "validate_rgf_flops",
     "validate_wf_flops",
     "validate_sancho_rubio_flops",
+    # metrics registry
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "LogLinearHistogram",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "metric_key",
+    # physics invariants
+    "InvariantMonitor",
+    "InvariantViolation",
+    "NullInvariantMonitor",
+    "NULL_MONITOR",
+    "get_monitor",
+    "set_monitor",
+    "use_monitor",
+    # regression gate
+    "ToleranceBand",
+    "MetricVerdict",
+    "RegressionReport",
+    "DEFAULT_BANDS",
+    "compare_metrics",
+    "check_against_baselines",
+    "load_baseline",
+    "load_baselines",
 ]

@@ -1,7 +1,19 @@
 """Parallel runtime: communicators, 4-level decomposition, scheduling."""
 
-from .comm import CommEvent, CommTrace, SerialComm, TracedComm, UnreliableComm
-from .decomposition import Decomposition, WorkItem, choose_level_sizes
+from .comm import (
+    CommEvent,
+    CommTrace,
+    SerialComm,
+    TracedComm,
+    UnreliableComm,
+    payload_nbytes,
+)
+from .decomposition import (
+    LEVEL_NAMES,
+    Decomposition,
+    WorkItem,
+    choose_level_sizes,
+)
 from .scheduler import (
     ScheduleReport,
     greedy_balance,
@@ -16,6 +28,8 @@ __all__ = [
     "SerialComm",
     "TracedComm",
     "UnreliableComm",
+    "payload_nbytes",
+    "LEVEL_NAMES",
     "Decomposition",
     "WorkItem",
     "choose_level_sizes",

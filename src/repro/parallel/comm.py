@@ -28,6 +28,8 @@ straggling rank, exactly the failure modes a petascale job must survive.
 from __future__ import annotations
 
 import pickle
+import sys
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,47 +40,138 @@ __all__ = [
     "SerialComm",
     "TracedComm",
     "UnreliableComm",
+    "payload_nbytes",
 ]
 
 
 @dataclass(frozen=True)
 class CommEvent:
-    """One recorded communication operation."""
+    """One recorded communication operation.
+
+    ``level`` names the parallelisation level the operation belongs to
+    (``"bias"``, ``"momentum"``, ``"energy"``, ``"spatial"`` — see
+    :data:`repro.parallel.LEVEL_NAMES`), or ``""`` for unattributed ops.
+    """
 
     op: str
     payload_bytes: int
     participants: int
+    level: str = ""
 
 
 @dataclass
 class CommTrace:
-    """Accumulated communication events of a traced run."""
+    """Accumulated communication events of a traced run.
+
+    ``max_events`` bounds the retained *event list* as a ring buffer (the
+    oldest events are dropped and counted in ``dropped_events``) while
+    the per-(op, level) aggregates — and therefore :meth:`total_bytes`,
+    :meth:`count` and :meth:`by_level` — stay exact over the whole run.
+    The performance model replays ``events``; long monitored sweeps that
+    only need the totals can cap the buffer without losing accounting.
+    """
 
     events: list = field(default_factory=list)
+    max_events: int | None = None
+    dropped_events: int = 0
 
-    def record(self, op: str, payload_bytes: int, participants: int) -> None:
-        """Append one event."""
-        self.events.append(CommEvent(op, int(payload_bytes), int(participants)))
+    def __post_init__(self):
+        if self.max_events is not None:
+            if self.max_events < 1:
+                raise ValueError("max_events must be >= 1")
+            self.events = deque(self.events, maxlen=self.max_events)
+        # exact running aggregates, keyed (op, level): [bytes, messages]
+        self._totals: dict[tuple, list] = {}
+        for e in self.events:
+            self._tally(e)
 
-    def total_bytes(self) -> int:
-        """Sum of payload bytes over all events."""
-        return sum(e.payload_bytes for e in self.events)
+    def _tally(self, event: CommEvent) -> None:
+        key = (event.op, event.level)
+        agg = self._totals.get(key)
+        if agg is None:
+            self._totals[key] = [event.payload_bytes, 1]
+        else:
+            agg[0] += event.payload_bytes
+            agg[1] += 1
 
-    def count(self, op: str | None = None) -> int:
-        """Number of events (optionally of one operation type)."""
-        if op is None:
-            return len(self.events)
-        return sum(1 for e in self.events if e.op == op)
+    def record(
+        self, op: str, payload_bytes: int, participants: int,
+        level: str = "",
+    ) -> None:
+        """Append one event (ring-buffered; aggregates always exact)."""
+        event = CommEvent(op, int(payload_bytes), int(participants), level)
+        self._tally(event)
+        if (
+            self.max_events is not None
+            and len(self.events) == self.max_events
+        ):
+            self.dropped_events += 1
+        self.events.append(event)
+
+    def total_bytes(self, level: str | None = None) -> int:
+        """Exact payload-byte total (optionally of one level)."""
+        return sum(
+            agg[0]
+            for (op, lv), agg in self._totals.items()
+            if level is None or lv == level
+        )
+
+    def count(self, op: str | None = None, level: str | None = None) -> int:
+        """Exact message count, filtered by operation and/or level."""
+        return sum(
+            agg[1]
+            for (o, lv), agg in self._totals.items()
+            if (op is None or o == op) and (level is None or lv == level)
+        )
+
+    def by_level(self) -> dict:
+        """Per-level totals: ``{level: {"bytes": b, "messages": n}}``."""
+        out: dict[str, dict] = {}
+        for (op, level), (nbytes, n) in self._totals.items():
+            row = out.setdefault(level, {"bytes": 0, "messages": 0})
+            row["bytes"] += nbytes
+            row["messages"] += n
+        return out
+
+    def by_op(self, level: str | None = None) -> dict:
+        """Per-operation totals: ``{op: {"bytes": b, "messages": n}}``."""
+        out: dict[str, dict] = {}
+        for (op, lv), (nbytes, n) in self._totals.items():
+            if level is not None and lv != level:
+                continue
+            row = out.setdefault(op, {"bytes": 0, "messages": 0})
+            row["bytes"] += nbytes
+            row["messages"] += n
+        return out
 
 
-def _nbytes(obj) -> int:
-    """Approximate wire size of a payload object."""
+def payload_nbytes(obj) -> int:
+    """Wire size of a payload object, sizing nested containers recursively.
+
+    ndarrays report their exact buffer size; lists/tuples/dicts/sets are
+    the sum of their items (plus a small per-container overhead, matching
+    what a pickled header costs) — *not* the bare object-header size that
+    ``pickle`` of an array-of-objects would undercount.  Scalars and
+    other leaves fall back to their pickled size.
+    """
     if isinstance(obj, np.ndarray):
-        return obj.nbytes
+        return int(obj.nbytes)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(payload_nbytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return max(sys.getsizeof(obj) - 16, 1)  # payload sans PyObject head
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:  # pragma: no cover - unpicklable payloads are a bug
         return 0
+
+
+# backwards-compatible internal alias (pre-existing call sites)
+_nbytes = payload_nbytes
 
 
 class SerialComm:
@@ -138,7 +231,13 @@ class TracedComm:
     :mod:`repro.perf` instead.
     """
 
-    def __init__(self, size: int, rank: int = 0, trace: CommTrace | None = None):
+    def __init__(
+        self,
+        size: int,
+        rank: int = 0,
+        trace: CommTrace | None = None,
+        level: str = "",
+    ):
         if size < 1:
             raise ValueError("communicator size must be >= 1")
         if not 0 <= rank < size:
@@ -146,6 +245,7 @@ class TracedComm:
         self._size = size
         self._rank = rank
         self.trace = trace if trace is not None else CommTrace()
+        self.level = level
 
     def Get_rank(self) -> int:
         """Modelled rank."""
@@ -156,7 +256,7 @@ class TracedComm:
         return self._size
 
     def Split(self, color: int, key: int = 0) -> "TracedComm":
-        """Split: the sub-communicator shares the trace.
+        """Split: the sub-communicator shares the trace (and level label).
 
         The modelled sub-size must be supplied implicitly by the caller's
         decomposition; since only rank 0 executes, the split returns a
@@ -164,29 +264,42 @@ class TracedComm:
         ``color`` — unknown here, so the caller should use
         :meth:`split_sized` when it knows the sub-size.
         """
-        return TracedComm(1, 0, self.trace)
+        return TracedComm(1, 0, self.trace, level=self.level)
 
-    def split_sized(self, sub_size: int, sub_rank: int = 0) -> "TracedComm":
-        """Explicit-size split used by the level decomposition."""
-        return TracedComm(sub_size, sub_rank, self.trace)
+    def split_sized(
+        self, sub_size: int, sub_rank: int = 0, level: str | None = None
+    ) -> "TracedComm":
+        """Explicit-size split used by the level decomposition.
+
+        ``level`` labels every collective of the sub-communicator with the
+        parallelisation level it serves (``"bias"``/``"momentum"``/
+        ``"energy"``/``"spatial"``); None inherits the parent's label.
+        """
+        sub_level = self.level if level is None else level
+        return TracedComm(sub_size, sub_rank, self.trace, level=sub_level)
 
     def barrier(self) -> None:
         """Record a zero-payload synchronisation."""
-        self.trace.record("barrier", 0, self._size)
+        self.trace.record("barrier", 0, self._size, level=self.level)
 
     def bcast(self, obj, root: int = 0):
         """Broadcast; cost recorded for a binomial tree."""
-        self.trace.record("bcast", _nbytes(obj), self._size)
+        self.trace.record("bcast", _nbytes(obj), self._size, level=self.level)
         return obj
 
     def gather(self, obj, root: int = 0):
         """Gather; every modelled rank is assumed to send an equal payload."""
-        self.trace.record("gather", _nbytes(obj) * self._size, self._size)
+        self.trace.record(
+            "gather", _nbytes(obj) * self._size, self._size, level=self.level
+        )
         return [obj] * self._size if self._rank == root else None
 
     def allgather(self, obj):
         """Allgather with equal payloads."""
-        self.trace.record("allgather", _nbytes(obj) * self._size, self._size)
+        self.trace.record(
+            "allgather", _nbytes(obj) * self._size, self._size,
+            level=self.level,
+        )
         return [obj] * self._size
 
     def allreduce(self, value, op: str = "sum"):
@@ -195,7 +308,9 @@ class TracedComm:
         Since only one rank actually executes, the reduction over P equal
         contributions is value * P for "sum" and value for "max"/"min".
         """
-        self.trace.record("allreduce", _nbytes(value), self._size)
+        self.trace.record(
+            "allreduce", _nbytes(value), self._size, level=self.level
+        )
         if op == "sum":
             if isinstance(value, np.ndarray):
                 return value * self._size
@@ -208,7 +323,10 @@ class TracedComm:
         """Scatter a list of length size; this rank receives its element."""
         if objs is None or len(objs) != self._size:
             raise ValueError(f"scatter needs a list of length {self._size}")
-        self.trace.record("scatter", sum(_nbytes(o) for o in objs), self._size)
+        self.trace.record(
+            "scatter", sum(_nbytes(o) for o in objs), self._size,
+            level=self.level,
+        )
         return objs[self._rank]
 
 

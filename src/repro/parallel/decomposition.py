@@ -22,7 +22,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["WorkItem", "Decomposition", "choose_level_sizes"]
+__all__ = ["LEVEL_NAMES", "WorkItem", "Decomposition", "choose_level_sizes"]
+
+#: Canonical names of the four parallelisation levels, outermost first.
+#: Indexes align with ``Decomposition.groups`` and the ``level`` labels of
+#: :class:`repro.parallel.CommTrace` events.
+LEVEL_NAMES: tuple = ("bias", "momentum", "energy", "spatial")
 
 
 @dataclass(frozen=True)
@@ -116,6 +121,10 @@ class Decomposition:
     def n_ranks(self) -> int:
         """Total ranks used by the grid."""
         return int(np.prod(self.groups))
+
+    def level_sizes(self) -> dict:
+        """Named group sizes: ``{"bias": g_b, ..., "spatial": g_s}``."""
+        return dict(zip(LEVEL_NAMES, self.groups))
 
     def rank_coordinates(self, rank: int) -> tuple[int, int, int, int]:
         """(bias group, k group, E group, spatial index) of a rank."""

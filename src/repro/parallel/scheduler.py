@@ -27,6 +27,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import NumericalBreakdownError, RankFailure, TaskFailure
+from ..observability.metrics import get_metrics
 from ..observability.tracer import get_tracer
 from ..resilience.faults import nan_like, non_finite
 
@@ -110,6 +111,7 @@ def run_tasks(
     injector=None,
     key_fn: Callable | None = None,
     report=None,
+    level: str = "",
 ) -> ScheduleReport:
     """Execute ``fn(task)`` for every task, recording per-task wall time.
 
@@ -127,6 +129,9 @@ def run_tasks(
         Task -> stable key for injection/quarantine (default: the index).
     report : repro.resilience.ResilienceReport or None
         Run-level ledger to record retries/faults/quarantines into.
+    level : str
+        Parallelisation level this batch belongs to (labels the
+        ``scheduler.*`` metrics; empty for unattributed batches).
     """
     results = []
     times = []
@@ -138,6 +143,7 @@ def run_tasks(
 
         report = ResilienceReport()
     tracer = get_tracer()
+    metrics = get_metrics()
     with tracer.span("run_tasks", category="phase", n_tasks=len(tasks)):
         t_start = timer()
         for index, task in enumerate(tasks):
@@ -152,7 +158,22 @@ def run_tasks(
                 retries_used += result.retries
                 results.append(result.value)
                 times.append(timer() - t0)
+                if metrics.enabled:
+                    metrics.observe(
+                        "scheduler.task_seconds", times[-1], level=level
+                    )
         total_time = timer() - t_start
+    if metrics.enabled:
+        metrics.inc("scheduler.tasks", float(len(tasks)), level=level)
+        if retries_used:
+            metrics.inc(
+                "scheduler.retries", float(retries_used), level=level
+            )
+        if quarantined:
+            metrics.inc(
+                "scheduler.quarantined", float(len(quarantined)), level=level
+            )
+        metrics.observe("scheduler.batch_seconds", total_time, level=level)
     return ScheduleReport(
         results=results,
         wall_times=np.array(times),

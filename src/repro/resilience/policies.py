@@ -133,7 +133,9 @@ def robust_surface_gf(
         ``"sancho-eta*10"``, ..., ``"eigen"``).
     """
     from ..negf.surface_gf import eigen_surface_gf, sancho_rubio
+    from ..observability.metrics import get_metrics
 
+    metrics = get_metrics()
     try:
         g, _ = sancho_rubio(
             energy, h00, h01, side=side, eta=eta, tol=tol, max_iter=max_iter
@@ -143,6 +145,10 @@ def robust_surface_gf(
         if report is not None:
             report.record_fault(injected=bool(getattr(exc, "injected", False)))
     for factor in eta_ladder:
+        if metrics.enabled:
+            metrics.inc(
+                "surface_gf.eta_escalations", 1.0, factor=f"{factor:g}"
+            )
         try:
             g, _ = sancho_rubio(
                 energy,
@@ -159,6 +165,8 @@ def robust_surface_gf(
             return g, path
         except SurfaceGFConvergenceError:
             continue
+    if metrics.enabled:
+        metrics.inc("surface_gf.eigen_fallbacks", 1.0)
     g = eigen_surface_gf(energy, h00, h01, side=side, eta=max(eta, 1e-9))
     if report is not None:
         report.record_fallback("surface_gf:eigen")

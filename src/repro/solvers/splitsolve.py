@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability.invariants import get_monitor
 from ..observability.tracer import get_tracer, trace_span
 from ..perf.flops import zgemm_flops
 from .block_tridiagonal import BlockTridiagLU
@@ -183,6 +184,9 @@ class SplitSolve:
                 y[p] = self._lu[p].solve(rhs[first : last + 1])
 
         if self._interface_lu is None:
+            monitor = get_monitor()
+            if monitor.enabled:
+                monitor.check_finite(y[0], kernel="splitsolve")
             return y[0]
 
         # interface RHS
@@ -217,4 +221,7 @@ class SplitSolve:
                     x[first + k] = y[p][k] - delta[k]
         for p, g in enumerate(self.separators):
             x[g] = x_sep[p]
+        monitor = get_monitor()
+        if monitor.enabled:
+            monitor.check_finite(x, kernel="splitsolve")
         return x

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability.invariants import get_monitor
 from ..observability.tracer import get_tracer, trace_span
 from ..solvers.banded import BandedLU, SparseLU
 from ..tb.hamiltonian import BlockTridiagonalHamiltonian
@@ -236,6 +237,26 @@ class WFSolver:
                 np.imag(np.einsum("im,ij,jm->", a.conj(), hop, b))
             )
 
+        n_open_r = sig_r.n_open_channels()
+        monitor = get_monitor()
+        if monitor.enabled:
+            monitor.check_gamma(gam_l, kernel="wf", side="left",
+                                energy=energy)
+            monitor.check_gamma(gam_r, kernel="wf", side="right",
+                                energy=energy)
+            if min(n_open_l, n_open_r) > 0:
+                monitor.check_transmission(
+                    transmission, min(n_open_l, n_open_r), kernel="wf",
+                    energy=energy,
+                )
+                monitor.check_current_conservation(
+                    currents, transmission, kernel="wf",
+                    energy=energy,
+                )
+            monitor.check_density(spectral_l, kernel="wf", side="left",
+                                  energy=energy)
+            monitor.check_density(spectral_r, kernel="wf", side="right",
+                                  energy=energy)
         return WFResult(
             energy=energy,
             transmission=transmission,
@@ -244,7 +265,7 @@ class WFSolver:
             spectral_left=spectral_l,
             spectral_right=spectral_r,
             n_channels_left=n_open_l,
-            n_channels_right=sig_r.n_open_channels(),
+            n_channels_right=n_open_r,
             interface_currents=currents,
         )
 

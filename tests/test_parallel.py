@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.parallel import (
+    LEVEL_NAMES,
     CommTrace,
     Decomposition,
     SerialComm,
@@ -14,6 +15,7 @@ from repro.parallel import (
     choose_level_sizes,
     greedy_balance,
     makespan,
+    payload_nbytes,
     run_tasks,
     static_blocks,
 )
@@ -90,6 +92,86 @@ class TestTracedComm:
         c1 = TracedComm(size=3, rank=1)
         assert c0.gather("x") == ["x"] * 3
         assert c1.gather("x") is None
+
+
+class TestCommTrace:
+    def test_per_op_count_filtering(self):
+        c = TracedComm(size=4)
+        c.bcast(np.zeros(10))
+        c.allreduce(1.0)
+        c.allreduce(2.0)
+        c.barrier()
+        assert c.trace.count("bcast") == 1
+        assert c.trace.count("allreduce") == 2
+        assert c.trace.count() == 4
+        assert c.trace.count("alltoall") == 0
+
+    def test_split_propagates_parent_trace_and_level(self):
+        c = TracedComm(size=8, level="energy")
+        sub = c.Split(color=2, key=1)
+        sub.bcast(np.zeros(10, dtype=complex))
+        # the subcommunicator records into the parent's trace
+        assert c.trace is sub.trace
+        assert c.trace.count("bcast", level="energy") == 1
+
+    def test_split_sized_level_override(self):
+        c = TracedComm(size=8, level="bias")
+        sub = c.split_sized(4, 1, level="momentum")
+        inherited = c.split_sized(2)
+        sub.allreduce(1.0)
+        inherited.allreduce(1.0)
+        assert c.trace.count("allreduce", level="momentum") == 1
+        assert c.trace.count("allreduce", level="bias") == 1
+        assert c.trace.count("allreduce") == 2
+
+    def test_by_level_and_by_op_aggregates(self):
+        t = CommTrace()
+        t.record("bcast", 100, 4, level="bias")
+        t.record("allreduce", 50, 2, level="energy")
+        t.record("allreduce", 50, 2, level="energy")
+        by_level = t.by_level()
+        assert by_level["bias"] == {"bytes": 100, "messages": 1}
+        assert by_level["energy"] == {"bytes": 100, "messages": 2}
+        assert t.by_op(level="energy") == {
+            "allreduce": {"bytes": 100, "messages": 2}
+        }
+        assert t.total_bytes(level="energy") == 100
+        assert t.total_bytes() == 200
+
+    def test_ring_buffer_keeps_exact_totals(self):
+        t = CommTrace(max_events=3)
+        for i in range(10):
+            t.record("bcast", 8, 2, level="bias")
+        assert len(t.events) == 3
+        assert t.dropped_events == 7
+        # aggregates stay exact despite the dropped event payloads
+        assert t.count("bcast") == 10
+        assert t.total_bytes() == 80
+
+    def test_ring_buffer_invalid_cap(self):
+        with pytest.raises(ValueError):
+            CommTrace(max_events=0)
+
+
+class TestPayloadNbytes:
+    def test_ndarray_exact(self):
+        assert payload_nbytes(np.zeros(100, dtype=complex)) == 1600
+
+    def test_recursive_containers(self):
+        a = np.zeros(10)  # 80 bytes
+        b = np.zeros(5, dtype=complex)  # 80 bytes
+        nested = [a, (b, {"k": a})]
+        flat = payload_nbytes(a) + payload_nbytes(b) + payload_nbytes(a)
+        assert payload_nbytes(nested) > flat  # container overhead counted
+        assert payload_nbytes(nested) >= 240
+
+    def test_scalars_positive(self):
+        for obj in (1, 1.5, 2 + 3j, True, np.float64(2.0)):
+            assert payload_nbytes(obj) >= 1
+
+    def test_dict_counts_keys_and_values(self):
+        d = {"density": np.zeros(10), "current": 1.0}
+        assert payload_nbytes(d) > payload_nbytes(np.zeros(10))
 
 
 class TestChooseLevelSizes:
