@@ -6,12 +6,15 @@ with its analytic flop count and the implied per-kernel MFlop/s.  This is
 the table that grounds the performance model's constants.
 """
 
+import time
+
 import numpy as np
 import pytest
 from conftest import grid_transport_system, print_experiment, record_baseline
 
-from repro.negf import contact_self_energy, sancho_rubio
+from repro.negf import RGFSolver, contact_self_energy, sancho_rubio
 from repro.negf.rgf import assemble_system_blocks
+from repro.negf.surface_gf import sancho_rubio_batch
 from repro.observability import Tracer, flat_metrics, use_tracer
 from repro.perf import (
     block_lu_factor_flops,
@@ -148,3 +151,142 @@ def test_t3_splitsolve(benchmark, system):
 
     x = benchmark(split)
     assert len(x) == len(diag)
+
+
+# ---------------------------------------------------------------------------
+# batched energy-point execution: stacked numpy.linalg vs per-point loops
+# ---------------------------------------------------------------------------
+#
+# The batched path wins when blocks are small enough that the per-point
+# Python/LAPACK dispatch overhead dominates — exactly the regime of the
+# energy loop in a bias sweep (many energies, modest block size).
+
+def _batched_system(n_x=24, n_yz=2, n_energies=64):
+    H = grid_transport_system(n_x=n_x, n_yz=n_yz)
+    ev = np.linalg.eigvalsh(H.diagonal[0])
+    width = 2.0 * np.linalg.norm(H.upper[0], 2)
+    lo, hi = ev.min() - width, ev.max() + width
+    w = hi - lo
+    energies = np.linspace(lo + 0.137 * w, hi - 0.171 * w, n_energies)
+    return H, energies
+
+
+def _best_of(fn, repeats=3):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_t3_batched_rgf(benchmark):
+    H, energies = _batched_system()
+    solver = RGFSolver(H)
+    results = benchmark(lambda: solver.solve_batch(energies))
+    m = int(H.block_sizes.max())
+    flops = len(energies) * rgf_solve_flops(H.n_blocks, m)
+    print_experiment(
+        "T3/rgf_batched",
+        f"batched RGF: {len(energies)} energies, N={H.n_blocks}, m={m}: "
+        f"{flops / 1e6:.1f} MFlop counted",
+    )
+    assert len(results) == len(energies)
+
+
+def test_t3_batched_wf(benchmark):
+    H, energies = _batched_system()
+    solver = WFSolver(H)
+    results = benchmark(lambda: solver.solve_batch(energies))
+    print_experiment(
+        "T3/wf_batched",
+        f"batched WF: {len(energies)} energies, N={H.n_blocks}",
+    )
+    assert len(results) == len(energies)
+
+
+def test_t3_batched_surface_gf(benchmark):
+    H, energies = _batched_system()
+    h00, h01 = H.diagonal[0], H.upper[0]
+    g, iters = benchmark(lambda: sancho_rubio_batch(energies, h00, h01))
+    assert g.shape == (len(energies), h00.shape[0], h00.shape[0])
+    print_experiment(
+        "T3/surface_gf_batched",
+        f"batched Sancho-Rubio: {len(energies)} energies, "
+        f"{int(iters.max())} max iterations",
+    )
+
+
+def _measure_batched_speedups(n_energies=64, repeats=3):
+    """Wall-time comparison, per-point loop vs batched, for each kernel."""
+    H, energies = _batched_system(n_energies=n_energies)
+    h00, h01 = H.diagonal[0], H.upper[0]
+    m = int(H.block_sizes.max())
+    report = {
+        "n_blocks": int(H.n_blocks),
+        "block_size": m,
+        "n_energies": int(len(energies)),
+    }
+
+    kernels = {
+        "surface_gf": (
+            lambda: [sancho_rubio(float(e), h00, h01) for e in energies],
+            lambda: sancho_rubio_batch(energies, h00, h01),
+        ),
+        "rgf": (
+            lambda: [RGFSolver(H).solve(float(e)) for e in energies],
+            lambda: RGFSolver(H).solve_batch(energies),
+        ),
+        "wf": (
+            lambda: [WFSolver(H).solve(float(e)) for e in energies],
+            lambda: WFSolver(H).solve_batch(energies),
+        ),
+    }
+    for name, (per_point, batched) in kernels.items():
+        t_pp = _best_of(per_point, repeats)
+        t_b = _best_of(batched, repeats)
+        report[f"{name}.per_point_s"] = t_pp
+        report[f"{name}.batched_s"] = t_b
+        report[f"{name}.speedup"] = t_pp / t_b
+    return report
+
+
+def test_t3_batched_speedup_sane():
+    """Batching a small-block workload must never be slower than the loop."""
+    report = _measure_batched_speedups(n_energies=32, repeats=2)
+    for name in ("surface_gf", "rgf", "wf"):
+        assert report[f"{name}.speedup"] > 1.0, report
+
+
+def _smoke():
+    report = _measure_batched_speedups()
+    path = record_baseline("kernels", report)
+    rows = "\n".join(
+        f"  {name:<12} per-point {report[f'{name}.per_point_s'] * 1e3:8.1f} ms"
+        f"  batched {report[f'{name}.batched_s'] * 1e3:8.1f} ms"
+        f"  speedup {report[f'{name}.speedup']:5.2f}x"
+        for name in ("surface_gf", "rgf", "wf")
+    )
+    print_experiment(
+        "T3/batched",
+        f"batched vs per-point, {report['n_energies']} energies, "
+        f"N={report['n_blocks']}, m={report['block_size']}:\n{rows}",
+        notes=f"baseline -> {path}",
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="measure batched-vs-per-point speedups and write "
+             "BENCH_kernels.json",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        _smoke()
+    else:
+        parser.error("run under pytest for the full benchmark suite, "
+                     "or pass --smoke")

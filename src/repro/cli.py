@@ -93,12 +93,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_args(p):
+        p.add_argument(
+            "--backend", choices=("serial", "thread", "process"),
+            default=None,
+            help="energy-grid execution backend (default: $REPRO_BACKEND "
+                 "or serial)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="worker count for the thread/process backends "
+                 "(default: $REPRO_WORKERS or 2)",
+        )
+        p.add_argument(
+            "--batch-energies", action="store_true",
+            help="solve energy chunks as stacked numpy calls instead of "
+                 "per-point loops (agrees with per-point to <1e-10)",
+        )
+        p.add_argument(
+            "--cache-sigma", action="store_true",
+            help="share a contact self-energy cache across energy points "
+                 "and SCF iterations (invalidated on potential updates)",
+        )
+
     p_sim = sub.add_parser("simulate", help="one self-consistent bias point")
     p_sim.add_argument("spec", help="device spec JSON file")
     p_sim.add_argument("--vg", type=float, default=0.0, help="gate voltage (V)")
     p_sim.add_argument("--vd", type=float, default=0.05, help="drain voltage (V)")
     p_sim.add_argument("--method", choices=("wf", "rgf"), default="wf")
     p_sim.add_argument("--n-energy", type=int, default=81)
+    add_backend_args(p_sim)
     p_sim.add_argument("-o", "--output", help="write results JSON here")
     p_sim.add_argument(
         "--trace", metavar="FILE",
@@ -119,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--vd", type=float, default=0.05)
     p_sweep.add_argument("--method", choices=("wf", "rgf"), default="wf")
     p_sweep.add_argument("--n-energy", type=int, default=81)
+    add_backend_args(p_sweep)
     p_sweep.add_argument("-o", "--output")
     p_sweep.add_argument(
         "--checkpoint", metavar="PATH",
@@ -163,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_doc.add_argument("--vd", type=float, default=0.05)
     p_doc.add_argument("--method", choices=("wf", "rgf"), default="wf")
     p_doc.add_argument("--n-energy", type=int, default=41)
+    add_backend_args(p_doc)
     p_doc.add_argument(
         "--ranks", type=int, default=64,
         help="modelled communicator size for the per-level comm matrix",
@@ -213,13 +239,24 @@ def _load_built(spec_path: str):
     return build_device(load_spec(spec_path))
 
 
+def _backend_kwargs(args) -> dict:
+    """TransportCalculation kwargs from the shared backend CLI flags."""
+    return {
+        "backend": getattr(args, "backend", None),
+        "workers": getattr(args, "workers", None),
+        "batch_energies": bool(getattr(args, "batch_energies", False)),
+        "sigma_cache": True if getattr(args, "cache_sigma", False) else None,
+    }
+
+
 def _cmd_simulate(args) -> int:
     from .core import SelfConsistentSolver, TransportCalculation
     from .io import format_si, save_json
 
     built = _load_built(args.spec)
     transport = TransportCalculation(
-        built, method=args.method, n_energy=args.n_energy
+        built, method=args.method, n_energy=args.n_energy,
+        **_backend_kwargs(args),
     )
     scf = SelfConsistentSolver(built, transport)
     with _tracing(args.trace, "simulate") as tracer, \
@@ -266,7 +303,8 @@ def _cmd_sweep(args) -> int:
         return 2
     built = _load_built(args.spec)
     transport = TransportCalculation(
-        built, method=args.method, n_energy=args.n_energy
+        built, method=args.method, n_energy=args.n_energy,
+        **_backend_kwargs(args),
     )
     injector = None
     if args.inject_faults is not None:
@@ -392,7 +430,8 @@ def _cmd_doctor(args) -> int:
 
     built = _load_built(args.spec)
     transport = TransportCalculation(
-        built, method=args.method, n_energy=args.n_energy
+        built, method=args.method, n_energy=args.n_energy,
+        **_backend_kwargs(args),
     )
     scf = SelfConsistentSolver(built, transport)
     registry = MetricsRegistry()
@@ -483,6 +522,39 @@ def _cmd_doctor(args) -> int:
         ["level", "group size", "messages", "bytes"], level_rows,
         title=f"modelled comm volume over {args.ranks} ranks "
               f"(paper's 4-level decomposition)",
+    ))
+
+    # --- self-energy cache probe --------------------------------------
+    # Solve the same bias twice with a fresh cache: the first pass is all
+    # misses, the second all hits, so the table doubles as a health check
+    # on the cache keying.
+    from .parallel import SelfEnergyCache
+
+    # the probe pins the serial backend: a process pool's children would
+    # fill their own cache copies and the table would misleadingly read 0
+    cache = SelfEnergyCache()
+    probe = TransportCalculation(
+        built, method=args.method, n_energy=11,
+        backend="serial",
+        batch_energies=args.batch_energies, sigma_cache=cache,
+    )
+    pot_probe = scf.atom_potential_ev(
+        scf.initial_potential(vgs[-1], args.vd)
+    )
+    probe_grid = probe.energy_grid(pot_probe, args.vd)
+    probe.solve_bias(pot_probe, args.vd, energy_grid=probe_grid)
+    cold = dict(cache.stats)
+    probe.solve_bias(pot_probe, args.vd, energy_grid=probe_grid)
+    warm = dict(cache.stats)
+    print(format_table(
+        ["pass", "hits", "misses", "evictions", "invalidations", "size"],
+        [
+            ("cold", cold["hits"], cold["misses"], cold["evictions"],
+             cold["invalidations"], cold["size"]),
+            ("warm", warm["hits"], warm["misses"], warm["evictions"],
+             warm["invalidations"], warm["size"]),
+        ],
+        title="self-energy cache probe (same bias solved twice)",
     ))
 
     # --- perf-regression gate against the committed baseline ----------

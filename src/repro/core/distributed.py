@@ -24,6 +24,7 @@ from ..errors import NumericalBreakdownError, RankFailure, TaskFailure
 from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
 from ..observability.metrics import get_metrics
 from ..observability.tracer import get_tracer
+from ..parallel.backend import get_backend
 from ..parallel.comm import payload_nbytes
 from ..parallel.decomposition import Decomposition, choose_level_sizes
 from ..physics.grids import EnergyGrid
@@ -63,14 +64,26 @@ class DistributedTransport:
         The default 1 keeps the historical (k, E)-only decomposition;
         the doctor CLI raises it to exercise all four levels of the
         per-level communication accounting.
+    backend : str, ExecutionBackend or None
+        Local execution backend for the modelled ranks: with "thread"
+        or "process" (and no fault injection/retry policy, whose requeue
+        semantics need the sequential loop) the representative ranks of
+        a serial-communicator solve run concurrently.  None keeps the
+        historical sequential loop.
+    workers : int or None
+        Worker count for the pooled backends.
     """
 
     def __init__(self, calculation: TransportCalculation,
-                 max_spatial: int = 1):
+                 max_spatial: int = 1, backend=None, workers=None):
         if max_spatial < 1:
             raise ValueError("max_spatial must be >= 1")
         self.calc = calculation
         self.max_spatial = max_spatial
+        self.backend = (
+            None if backend is None and workers is None
+            else get_backend(backend, workers)
+        )
 
     # ------------------------------------------------------------------
     def decomposition(self, n_ranks: int, v_drain: float,
@@ -182,12 +195,35 @@ class DistributedTransport:
         solvers: dict[int, object] = {}
         tracer = get_tracer()
 
-        def solve_task(ik: int, ie: int) -> tuple[float, np.ndarray]:
-            """One (k, E) contribution: (w_k-weighted current, density)."""
+        def get_solver(ik: int):
             if ik not in solvers:
                 H = calc.hamiltonian(potential_ev, float(kgrid.k_points[ik]))
                 solvers[ik] = calc._make_solver(H)
-            res = solvers[ik].solve(float(grid.energies[ie]))
+            return solvers[ik]
+
+        # batched mode: stack this rank's energy points per k-point up
+        # front (fault injection/retry need the per-task attempt loop,
+        # so batching only engages without them)
+        prebatched: dict[tuple[int, int], object] = {}
+        if calc.batch_energies and injector is None and retry is None:
+            by_k: dict[int, list[int]] = {}
+            for task in tasks:
+                by_k.setdefault(int(task.k_index), []).append(
+                    int(task.energy_index)
+                )
+            for ik, ies in by_k.items():
+                unique = sorted(set(ies))
+                batch = get_solver(ik).solve_batch(
+                    [float(grid.energies[ie]) for ie in unique]
+                )
+                for ie, res in zip(unique, batch):
+                    prebatched[(ik, ie)] = res
+
+        def solve_task(ik: int, ie: int) -> tuple[float, np.ndarray]:
+            """One (k, E) contribution: (w_k-weighted current, density)."""
+            res = prebatched.get((ik, ie))
+            if res is None:
+                res = get_solver(ik).solve(float(grid.energies[ie]))
             w = float(kgrid.weights[ik] * grid.weights[ie])
             # single-point "grids" let us reuse the scalar observable code
             point = EnergyGrid(
@@ -304,6 +340,45 @@ class DistributedTransport:
             # serial backend: execute one representative rank per (k, E)
             # group (spatial peers share tasks) and reduce locally
             representatives = list(range(0, decomp.n_ranks, spatial))
+            backend = self.backend
+            if backend is not None and backend.name == "process":
+                # a process pool cannot ship a child's tracer spans,
+                # metrics or invariant checks back: stay in-process
+                # while any of those is live (same rule as
+                # TransportCalculation._run_backend)
+                from ..observability.invariants import get_monitor
+                from ..observability.metrics import get_metrics
+                from ..observability.tracer import get_tracer
+
+                if (
+                    get_tracer().enabled
+                    or get_metrics().enabled
+                    or get_monitor().enabled
+                ):
+                    backend = None
+            if (
+                backend is not None
+                and backend.name != "serial"
+                and injector is None
+                and retry is None
+                and len(representatives) > 1
+            ):
+                # concurrent representatives: results are reduced in the
+                # same representative order as the sequential loop
+                payloads = [
+                    (self, r, decomp, grid, potential_ev, v_drain)
+                    for r in representatives
+                ]
+                partials = backend.map(_rank_partial_worker, payloads)
+                current = sum(p.current_a for p in partials)
+                density = np.sum(
+                    [p.density_per_atom for p in partials], axis=0
+                )
+                n_tasks = sum(p.n_tasks for p in partials)
+                return self._finish_bias(
+                    comm, decomp, grid, potential_ev,
+                    current, density, n_tasks,
+                )
             partials = []
             for i, r in enumerate(representatives):
                 try:
@@ -338,6 +413,14 @@ class DistributedTransport:
             current = comm.allreduce(mine.current_a, op="sum")
             density = comm.allreduce(mine.density_per_atom, op="sum")
             n_tasks = comm.allreduce(mine.n_tasks, op="sum")
+        return self._finish_bias(
+            comm, decomp, grid, potential_ev, current, density, n_tasks
+        )
+
+    def _finish_bias(
+        self, comm, decomp, grid, potential_ev, current, density, n_tasks
+    ) -> dict:
+        """Shared epilogue: traffic model, metrics and the result dict."""
         trace = getattr(comm, "trace", None)
         if trace is not None:
             self._record_level_traffic(
@@ -360,3 +443,14 @@ class DistributedTransport:
             "decomposition": decomp,
             "energy_grid": grid,
         }
+
+
+def _rank_partial_worker(payload):
+    """Worker body for backend-dispatched representative ranks.
+
+    Module-level so ProcessPoolExecutor can pickle it; the payload
+    carries the DistributedTransport itself (its calculation and device
+    are picklable by construction).
+    """
+    transport, rank, decomp, grid, potential_ev, v_drain = payload
+    return transport.rank_partial(rank, decomp, grid, potential_ev, v_drain)

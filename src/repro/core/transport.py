@@ -22,6 +22,8 @@ import numpy as np
 from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
 from ..negf.rgf import RGFSolver
 from ..observability.tracer import trace_span
+from ..parallel.backend import SelfEnergyCache, get_backend
+from ..parallel.scheduler import split_chunks
 from ..perf.flops import (
     FlopCounter,
     rgf_solve_flops,
@@ -84,6 +86,23 @@ class TransportCalculation:
         Contact surface-GF algorithm.
     n_kT_window : float
         Half-width of the Fermi window in units of kT.
+    backend : str, ExecutionBackend or None
+        Local execution backend for the energy grid of each k-point:
+        "serial" (default, the historical bit-identical loop), "thread"
+        or "process".  None reads ``$REPRO_BACKEND`` (default serial).
+    workers : int or None
+        Worker count for the pooled backends (None: ``$REPRO_WORKERS``).
+    batch_energies : bool
+        Solve each energy chunk as one stacked ``solve_batch`` call
+        instead of a per-point loop.  Off by default: the batched
+        reductions may differ from the per-point ones in the last ulp,
+        and the regression baselines pin the per-point path bit-exactly.
+    sigma_cache : SelfEnergyCache, True or None
+        Shared contact self-energy cache (True builds a fresh one).
+        Hits skip the Sancho-Rubio decimation entirely — and therefore
+        its *measured* flops — so the default is off to keep existing
+        measured-flop baselines untouched.  The cache is invalidated
+        whenever ``solve_bias`` sees a changed potential.
     """
 
     def __init__(
@@ -97,6 +116,10 @@ class TransportCalculation:
         energy_mode: str = "uniform",
         adaptive_tol: float = 0.02,
         max_energy_points: int = 512,
+        backend=None,
+        workers=None,
+        batch_energies: bool = False,
+        sigma_cache=None,
     ):
         if method not in ("wf", "rgf"):
             raise ValueError("method must be 'wf' or 'rgf'")
@@ -112,6 +135,12 @@ class TransportCalculation:
         self.adaptive_tol = adaptive_tol
         self.max_energy_points = max_energy_points
         self.spin_degeneracy = 1 if built.material.basis.spin else 2
+        self.backend = get_backend(backend, workers)
+        self.batch_energies = bool(batch_energies)
+        if sigma_cache is True:
+            sigma_cache = SelfEnergyCache()
+        self.sigma_cache = sigma_cache
+        self._potential_fingerprint: bytes | None = None
 
     # ------------------------------------------------------------------
     def hamiltonian(self, potential_ev: np.ndarray, k_transverse: float = 0.0):
@@ -178,9 +207,13 @@ class TransportCalculation:
     def _make_solver(self, H):
         if self.method == "rgf":
             return RGFSolver(
-                H, eta=self.eta, surface_method=self.surface_method
+                H, eta=self.eta, surface_method=self.surface_method,
+                sigma_cache=self.sigma_cache,
             )
-        return WFSolver(H, eta=self.eta, surface_method=self.surface_method)
+        return WFSolver(
+            H, eta=self.eta, surface_method=self.surface_method,
+            sigma_cache=self.sigma_cache,
+        )
 
     def _charge_flops(self, counter: FlopCounter, H, n_channels: int) -> None:
         n = H.n_blocks
@@ -190,6 +223,49 @@ class TransportCalculation:
             counter.add("rgf", rgf_solve_flops(n, m))
         else:
             counter.add("wf", wf_solve_flops(n, m, max(n_channels, 1)))
+
+    def _run_backend(self, solver, energies: list):
+        """Solve ``energies`` through the configured execution backend.
+
+        The grid is split into one contiguous chunk per worker (all in
+        one chunk for the serial backend) and each chunk is solved by
+        :func:`_solve_chunk` — per-point or as one stacked
+        ``solve_batch`` call — then reassembled in grid order.  Results
+        are identical to the per-point loop up to the documented batched
+        reduction tolerance (bitwise when ``batch_energies`` is off).
+
+        A process pool cannot ship a child's tracer spans, metrics or
+        invariant checks back to the parent, so while any of those is
+        live the chunks run in-process instead: observability exactness
+        (measured flops, span trees, invariant counts) outranks the
+        dispatch speedup whenever someone is measuring.
+        """
+        if not energies:
+            return []
+        backend = self.backend
+        if backend.name == "process":
+            from ..observability.invariants import get_monitor
+            from ..observability.metrics import get_metrics
+            from ..observability.tracer import get_tracer
+
+            if (
+                get_tracer().enabled
+                or get_metrics().enabled
+                or get_monitor().enabled
+            ):
+                from ..parallel.backend import SerialBackend
+
+                backend = SerialBackend()
+        n_chunks = 1 if backend.name == "serial" else backend.workers
+        chunks = split_chunks(len(energies), n_chunks)
+        payloads = [
+            (solver, [energies[i] for i in chunk], self.batch_energies)
+            for chunk in chunks
+        ]
+        out: list = []
+        for chunk_results in backend.map(_solve_chunk, payloads):
+            out.extend(chunk_results)
+        return out
 
     # ------------------------------------------------------------------
     def solve_bias(
@@ -217,6 +293,16 @@ class TransportCalculation:
             return self._solve_bias(potential_ev, v_drain, energy_grid)
 
     def _solve_bias(self, potential_ev, v_drain, energy_grid):
+        if self.sigma_cache is not None:
+            fp = np.ascontiguousarray(potential_ev).tobytes()
+            if (
+                self._potential_fingerprint is not None
+                and fp != self._potential_fingerprint
+            ):
+                # entries keyed by the old lead blocks can never be hit
+                # again; drop them so the cache only holds live keys
+                self.sigma_cache.invalidate("potential-update")
+            self._potential_fingerprint = fp
         built = self.built
         kT = built.spec.kT
         mu_s = built.contact_mu("source")
@@ -269,10 +355,21 @@ class TransportCalculation:
                     max_points=self.max_energy_points,
                 )
                 k_grid_e = refiner.refine(indicator)
-            else:
+            elif self.backend.name == "serial" and not self.batch_energies:
                 k_grid_e = grid
                 for energy in k_grid_e.energies:
                     sample(energy)
+            else:
+                k_grid_e = grid
+                fresh = [
+                    float(e) for e in k_grid_e.energies
+                    if float(e) not in cache
+                ]
+                for energy, res in zip(
+                    fresh, self._run_backend(solver, fresh)
+                ):
+                    cache[energy] = res
+                    self._charge_flops(flops, H, res.n_channels_left)
 
             n_e_k = len(k_grid_e)
             spectral_l = np.zeros((n_e_k, H.total_size))
@@ -324,3 +421,18 @@ class TransportCalculation:
             channels=channels,
             flops=flops,
         )
+
+
+def _solve_chunk(payload):
+    """Worker body for the execution backends: solve one energy chunk.
+
+    Module-level (not a closure) so ProcessPoolExecutor can pickle it;
+    the payload carries the (picklable) solver rather than the full
+    calculation object.  With the process backend the children's
+    tracer/metrics updates stay in the children — the parent re-charges
+    the analytic flop account from the returned results instead.
+    """
+    solver, energies, batched = payload
+    if batched:
+        return solver.solve_batch(energies)
+    return [solver.solve(float(e)) for e in energies]

@@ -21,9 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .surface_gf import eigen_surface_gf, sancho_rubio
+from .surface_gf import eigen_surface_gf, sancho_rubio, sancho_rubio_batch
 
-__all__ = ["LeadSelfEnergy", "contact_self_energy"]
+__all__ = ["LeadSelfEnergy", "contact_self_energy", "contact_self_energy_batch"]
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,25 @@ class LeadSelfEnergy:
         return U[:, keep] * np.sqrt(ev[keep])[None, :]
 
 
+def _cache_key(cache_token, side, method, eta, energy):
+    """Exact (no rounding) cache key of one self-energy evaluation."""
+    return (cache_token, side, method, float(eta), float(energy))
+
+
+def _resolve_token(cache_token, h00, h01, tau):
+    """Content token of the lead blocks (computed here only if missing)."""
+    if cache_token is not None:
+        return cache_token
+    # deferred import: repro.parallel pulls in the resilience/scheduler
+    # stack, which must not become a module-level dependency of negf
+    from ..parallel.backend import lead_token
+
+    token = lead_token(h00, h01)
+    if tau is not None:
+        token = token + lead_token(tau, tau)
+    return token
+
+
 def contact_self_energy(
     energy: float,
     h00: np.ndarray,
@@ -84,6 +103,8 @@ def contact_self_energy(
     side: str = "left",
     method: str = "sancho",
     eta: float = 1e-6,
+    cache=None,
+    cache_token: str | None = None,
 ) -> LeadSelfEnergy:
     """Compute the retarded self-energy of one contact.
 
@@ -104,7 +125,21 @@ def contact_self_energy(
         fallback) instead of aborting on non-convergence.
     eta : float
         Retarded infinitesimal (eV).
+    cache : repro.parallel.SelfEnergyCache or None
+        Optional shared cache; a hit returns the stored object (keys are
+        exact, so cached and uncached runs agree bitwise — but note a
+        hit skips the surface-GF work and therefore its measured flops).
+    cache_token : str or None
+        Precomputed lead fingerprint (``repro.parallel.lead_token``);
+        None computes it here, callers in hot loops should precompute.
     """
+    key = None
+    if cache is not None:
+        cache_token = _resolve_token(cache_token, h00, h01, tau)
+        key = _cache_key(cache_token, side, method, eta, energy)
+        hit = cache.lookup(key)
+        if hit is not None:
+            return hit
     if method == "sancho":
         g, _ = sancho_rubio(energy, h00, h01, side=side, eta=eta)
     elif method == "eigen":
@@ -123,4 +158,73 @@ def contact_self_energy(
         sigma = tau.conj().T @ g @ tau
     else:
         sigma = tau @ g @ tau.conj().T
-    return LeadSelfEnergy(sigma=sigma, side=side, energy=energy)
+    result = LeadSelfEnergy(sigma=sigma, side=side, energy=energy)
+    if cache is not None:
+        cache.store(key, result)
+    return result
+
+
+def contact_self_energy_batch(
+    energies,
+    h00: np.ndarray,
+    h01: np.ndarray,
+    tau: np.ndarray | None = None,
+    side: str = "left",
+    method: str = "sancho",
+    eta: float = 1e-6,
+    cache=None,
+    cache_token: str | None = None,
+) -> list[LeadSelfEnergy]:
+    """Self-energies of one contact for a whole batch of energies.
+
+    With ``method="sancho"`` the cache-missing energies run through the
+    stacked :func:`repro.negf.surface_gf.sancho_rubio_batch` decimation
+    and one broadcast ``tau^+ g tau`` triple product — per-slice
+    identical to the scalar path.  Other methods fall back to the
+    per-point function (they are not batch-vectorised).  Results are in
+    ``energies`` order.
+    """
+    energy_list = [float(e) for e in np.asarray(energies, dtype=float).ravel()]
+    results: list = [None] * len(energy_list)
+    if cache is not None:
+        cache_token = _resolve_token(cache_token, h00, h01, tau)
+    missing: list[int] = []
+    for i, e in enumerate(energy_list):
+        if cache is not None:
+            hit = cache.lookup(_cache_key(cache_token, side, method, eta, e))
+            if hit is not None:
+                results[i] = hit
+                continue
+        missing.append(i)
+    if not missing:
+        return results
+    if method == "sancho":
+        e_missing = np.array([energy_list[i] for i in missing])
+        g_stack, _ = sancho_rubio_batch(
+            e_missing, h00, h01, side=side, eta=eta
+        )
+        tau_arr = np.asarray(h01 if tau is None else tau, dtype=complex)
+        if side == "left":
+            sigma_stack = tau_arr.conj().T @ g_stack @ tau_arr
+        else:
+            sigma_stack = tau_arr @ g_stack @ tau_arr.conj().T
+        for j, i in enumerate(missing):
+            res = LeadSelfEnergy(
+                sigma=np.ascontiguousarray(sigma_stack[j]),
+                side=side,
+                energy=energy_list[i],
+            )
+            results[i] = res
+            if cache is not None:
+                cache.store(
+                    _cache_key(cache_token, side, method, eta, energy_list[i]),
+                    res,
+                )
+    else:
+        for i in missing:
+            results[i] = contact_self_energy(
+                energy_list[i], h00, h01, tau=tau, side=side,
+                method=method, eta=eta, cache=cache,
+                cache_token=cache_token,
+            )
+    return results

@@ -33,6 +33,9 @@ __all__ = [
     "validate_rgf_flops",
     "validate_wf_flops",
     "validate_sancho_rubio_flops",
+    "validate_batched_rgf_flops",
+    "validate_batched_wf_flops",
+    "validate_batched_sancho_rubio_flops",
     "validate_flops",
 ]
 
@@ -206,6 +209,125 @@ def validate_sancho_rubio_flops(
     )
 
 
+def _batch_energies(n_energies: int):
+    """Deterministic in-band energy batch away from the chain band edges."""
+    import numpy as np
+
+    return np.linspace(-1.2, 1.2, n_energies)
+
+
+def validate_batched_rgf_flops(
+    n_blocks: int = 4, block_size: int = 3, n_energies: int = 6
+) -> FlopValidation:
+    """Batched RGF solve: block-LU flops must be B x the per-point formula.
+
+    :class:`repro.solvers.BatchedBlockTridiagLU` charges exactly
+    ``batch_size`` times the scalar-class counts to the same kernel
+    names, so one ``solve_batch`` over B energies must measure
+    ``B * rgf_solve_flops``.
+
+    Example
+    -------
+    >>> validate_batched_rgf_flops(n_blocks=3, block_size=2).matches
+    True
+    """
+    from ..negf.rgf import RGFSolver
+
+    H = _chain_hamiltonian(n_blocks, block_size)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        RGFSolver(H).solve_batch(_batch_energies(n_energies))
+    counts = tracer.counter.counts
+    measured = (
+        counts.get("block_lu.factor", 0.0)
+        + counts.get("block_lu.column", 0.0)
+        + counts.get("block_lu.diagonal", 0.0)
+    )
+    return FlopValidation(
+        kernel="rgf_batched",
+        analytic=n_energies * rgf_solve_flops(n_blocks, block_size),
+        measured=measured,
+        params={"n_blocks": n_blocks, "block_size": block_size,
+                "n_energies": n_energies},
+    )
+
+
+def validate_batched_wf_flops(
+    n_blocks: int = 4, block_size: int = 3, n_energies: int = 6
+) -> FlopValidation:
+    """Batched WF solve: charges must sum the per-energy analytic costs.
+
+    The batched path executes on the (uninstrumented) stacked block-LU
+    but charges ``wf.factor``/``wf.backsub`` by the same Gordon Bell
+    convention as the per-point path — the banded-algorithm cost at the
+    *actual* per-energy injection counts.
+
+    Example
+    -------
+    >>> validate_batched_wf_flops(n_blocks=3, block_size=2).matches
+    True
+    """
+    from ..wf.qtbm import WFSolver
+
+    H = _chain_hamiltonian(n_blocks, block_size)
+    solver = WFSolver(H)
+    energies = _batch_energies(n_energies)
+    analytic = 0.0
+    for e in energies:
+        sig_l, sig_r = solver.self_energies(float(e))
+        n_rhs = (
+            solver._injection(sig_l).shape[1]
+            + solver._injection(sig_r).shape[1]
+        )
+        analytic += wf_factor_flops(n_blocks, block_size)
+        analytic += wf_backsub_flops(n_blocks, block_size, n_rhs)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        solver.solve_batch(energies)
+    counts = tracer.counter.counts
+    measured = counts.get("wf.factor", 0.0) + counts.get("wf.backsub", 0.0)
+    return FlopValidation(
+        kernel="wf_batched",
+        analytic=analytic,
+        measured=measured,
+        params={"n_blocks": n_blocks, "block_size": block_size,
+                "n_energies": n_energies},
+    )
+
+
+def validate_batched_sancho_rubio_flops(
+    block_size: int = 4, n_energies: int = 6
+) -> FlopValidation:
+    """Batched decimation: flops must sum the per-energy iteration costs.
+
+    The active-set compaction gives every energy exactly its scalar
+    iteration sequence, so the charge is ``sum_E sancho_rubio_flops(m,
+    it_E)`` with the *measured* per-energy iteration counts.
+
+    Example
+    -------
+    >>> validate_batched_sancho_rubio_flops(block_size=2).matches
+    True
+    """
+    from ..negf.surface_gf import sancho_rubio_batch
+
+    H = _chain_hamiltonian(2, block_size)
+    energies = _batch_energies(n_energies)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        _, iters = sancho_rubio_batch(energies, H.diagonal[0], H.upper[0])
+    analytic = sum(
+        sancho_rubio_flops(block_size, int(it)) for it in iters
+    )
+    return FlopValidation(
+        kernel="sancho_rubio_batched",
+        analytic=float(analytic),
+        measured=tracer.counter.counts.get("surface_gf.sancho", 0.0),
+        params={"block_size": block_size, "n_energies": n_energies,
+                "iterations": [int(i) for i in iters]},
+    )
+
+
 def validate_flops(verbose: bool = False) -> list:
     """Exercise every instrumented kernel at several small sizes.
 
@@ -226,6 +348,11 @@ def validate_flops(verbose: bool = False) -> list:
         validate_wf_flops(n_blocks=5, block_size=3),
         validate_sancho_rubio_flops(block_size=2),
         validate_sancho_rubio_flops(block_size=4, energy=0.7),
+        validate_batched_rgf_flops(n_blocks=3, block_size=2, n_energies=5),
+        validate_batched_rgf_flops(n_blocks=4, block_size=3, n_energies=7),
+        validate_batched_wf_flops(n_blocks=3, block_size=2, n_energies=5),
+        validate_batched_wf_flops(n_blocks=4, block_size=3, n_energies=6),
+        validate_batched_sancho_rubio_flops(block_size=3, n_energies=6),
     ]
     if verbose:  # pragma: no cover - console convenience
         for v in validations:

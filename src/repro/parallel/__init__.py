@@ -14,15 +14,37 @@ from .decomposition import (
     WorkItem,
     choose_level_sizes,
 )
+from .backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SelfEnergyCache,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    lead_token,
+)
 from .scheduler import (
     ScheduleReport,
     greedy_balance,
     makespan,
+    round_robin,
     run_tasks,
+    split_chunks,
     static_blocks,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SelfEnergyCache",
+    "SerialBackend",
+    "ThreadBackend",
+    "get_backend",
+    "lead_token",
+    "round_robin",
+    "split_chunks",
     "CommEvent",
     "CommTrace",
     "SerialComm",

@@ -1,0 +1,312 @@
+"""Execution backends and the contact self-energy cache.
+
+This is the batched-execution layer of the reproduction (ISSUE 4): the
+transport driver hands whole *chunks* of independent energy points to an
+:class:`ExecutionBackend`, which runs them serially, on threads, or on a
+``ProcessPoolExecutor`` — and the innermost kernels share a keyed,
+size-bounded :class:`SelfEnergyCache` so Sancho-Rubio surface GFs and
+contact self-energies computed once are reused across energy points,
+k-points and SCF iterations (OMEN reuses its boundary self-energies the
+same way; they depend only on the lead blocks, not the interior device).
+
+Backend choice is orthogonal to the 4-level decomposition model in
+:mod:`repro.parallel.decomposition`: the decomposition says *which* rank
+owns which (bias, k, energy) work items, the backend says how the work
+of one rank is executed on the local machine.
+
+* ``serial`` — plain loop, bit-identical to the historical path (default);
+* ``thread`` — ``ThreadPoolExecutor``; numpy/LAPACK release the GIL, so
+  threads overlap BLAS work without pickling anything;
+* ``process`` — ``ProcessPoolExecutor``; full interpreter parallelism,
+  requires picklable solvers (all of ours are) and forfeits in-parent
+  tracer/metrics updates from the children (documented caveat).
+
+Pools are created lazily and shared per ``(kind, workers)`` so repeated
+``solve_bias`` calls (SCF iterations, IV sweeps, tests) do not leak
+executors; everything is shut down at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from ..observability.metrics import get_metrics
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SelfEnergyCache",
+    "SerialBackend",
+    "ThreadBackend",
+    "get_backend",
+    "lead_token",
+]
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def lead_token(h00: np.ndarray, h01: np.ndarray) -> str:
+    """Content fingerprint of a lead's defining blocks.
+
+    The surface GF depends on the lead only through (h00, h01), so a
+    sha1 over their bytes keys the cache exactly: two solvers whose lead
+    blocks are bit-identical share entries, and any potential or
+    Hamiltonian change that reaches the lead slab changes the token.
+    """
+    digest = hashlib.sha1()
+    h00 = np.ascontiguousarray(h00)
+    h01 = np.ascontiguousarray(h01)
+    digest.update(str(h00.shape).encode())
+    digest.update(h00.tobytes())
+    digest.update(str(h01.shape).encode())
+    digest.update(h01.tobytes())
+    return digest.hexdigest()
+
+
+class SelfEnergyCache:
+    """Size-bounded LRU cache for lead self-energies / surface GFs.
+
+    Keys are exact tuples ``(lead_token, side, method, eta, energy)`` —
+    no rounding: a cache hit returns the *identical* object that a fresh
+    computation would have produced at that key, so cached and uncached
+    runs agree bitwise.  Thread-safe (the thread backend shares one
+    instance across workers); picklable (the lock is dropped and rebuilt
+    so solvers holding a cache can cross a process boundary — each child
+    then starts from a snapshot copy, another reason process-backend
+    cache counters stay parent-local).
+
+    Counters (``hits``/``misses``/``evictions``/``invalidations``) are
+    mirrored into the MetricsRegistry under ``selfenergy_cache.*`` when
+    metrics are enabled, which is what ``repro doctor`` and the backend
+    test suite read.
+    """
+
+    def __init__(self, maxsize: int = 2048):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, key):
+        """Return the cached value for ``key`` or None (and count it)."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                value = self._data[key]
+                hit = True
+            else:
+                self.misses += 1
+                value = None
+                hit = False
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("selfenergy_cache.hits" if hit else
+                        "selfenergy_cache.misses", 1.0)
+        return value
+
+    def store(self, key, value) -> None:
+        """Insert ``key -> value``, evicting least-recently-used entries."""
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("selfenergy_cache.evictions", float(evicted))
+
+    def invalidate(self, reason: str = "") -> int:
+        """Drop every entry (potential/Hamiltonian changed); return count."""
+        with self._lock:
+            n = len(self._data)
+            self._data.clear()
+            self.invalidations += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc(
+                "selfenergy_cache.invalidations",
+                1.0,
+                reason=reason or "unspecified",
+            )
+        return n
+
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot for reports and the doctor output."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    # pickling: locks don't cross process boundaries
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+# ---------------------------------------------------------------------------
+# execution backends
+
+
+class ExecutionBackend:
+    """Strategy for executing a list of independent work chunks.
+
+    ``map(fn, items)`` must return results in item order (like the
+    built-in ``map``) — the transport layer relies on that to reassemble
+    energy grids deterministically.
+    """
+
+    name = "abstract"
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+
+    def map(self, fn, items) -> list:
+        raise NotImplementedError
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Plain in-process loop — the bit-identical reference backend."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(1)
+
+    def map(self, fn, items) -> list:
+        return [fn(item) for item in items]
+
+
+# shared lazily-created pools, keyed by (kind, workers); shut down at exit
+_POOLS: dict = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(kind: str, workers: int):
+    key = (kind, workers)
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            if kind == "thread":
+                pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-worker"
+                )
+            else:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every shared executor pool (idempotent)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_pools)
+
+
+class ThreadBackend(ExecutionBackend):
+    """ThreadPoolExecutor backend (numpy releases the GIL in BLAS)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2):
+        super().__init__(workers)
+
+    def map(self, fn, items) -> list:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = _shared_pool("thread", self.workers)
+        return list(pool.map(fn, items))
+
+
+class ProcessBackend(ExecutionBackend):
+    """ProcessPoolExecutor backend.
+
+    ``fn`` and every item must be picklable; child-side tracer/metrics
+    updates stay in the children (the parent re-charges analytic flops
+    from the returned results instead).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2):
+        super().__init__(workers)
+
+    def map(self, fn, items) -> list:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = _shared_pool("process", self.workers)
+        return list(pool.map(fn, items))
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def get_backend(name=None, workers=None) -> ExecutionBackend:
+    """Resolve a backend from a name, an instance, or the environment.
+
+    ``name=None`` falls back to ``$REPRO_BACKEND`` (default ``serial``);
+    ``workers=None`` falls back to ``$REPRO_WORKERS`` (default 2 for the
+    pooled backends).  Passing an :class:`ExecutionBackend` instance
+    returns it unchanged, so APIs can accept either.
+    """
+    if isinstance(name, ExecutionBackend):
+        return name
+    if name is None:
+        # an empty environment value means "unset" (e.g. a CI matrix leg
+        # exporting REPRO_BACKEND="")
+        name = os.environ.get("REPRO_BACKEND") or "serial"
+    name = str(name).lower()
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS") or "2")
+    if name == "serial":
+        return SerialBackend()
+    return _BACKENDS[name](workers=workers)

@@ -31,7 +31,14 @@ from ..observability.metrics import get_metrics
 from ..observability.tracer import get_tracer
 from ..resilience.faults import nan_like, non_finite
 
-__all__ = ["static_blocks", "greedy_balance", "run_tasks", "ScheduleReport"]
+__all__ = [
+    "static_blocks",
+    "round_robin",
+    "split_chunks",
+    "greedy_balance",
+    "run_tasks",
+    "ScheduleReport",
+]
 
 
 def static_blocks(costs: Sequence[float], n_workers: int) -> list[list[int]]:
@@ -41,6 +48,50 @@ def static_blocks(costs: Sequence[float], n_workers: int) -> list[list[int]]:
     n = len(costs)
     bounds = np.linspace(0, n, n_workers + 1).astype(int)
     return [list(range(bounds[w], bounds[w + 1])) for w in range(n_workers)]
+
+
+def round_robin(n_items: int, n_workers: int) -> list[list[int]]:
+    """Round-robin (block-cyclic, block=1) assignment of item indices.
+
+    Worker w gets items w, w + n_workers, w + 2*n_workers, ...  The
+    remainder items when ``n_items % n_workers != 0`` land on the first
+    ``n_items % n_workers`` workers — every index 0..n_items-1 is
+    assigned exactly once regardless of divisibility (the regression
+    tests in ``tests/test_backend.py`` pin this, including the uneven
+    spatial-split case where the effective worker count is not a divisor
+    of the energy-point count).
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    return [
+        list(range(w, n_items, n_workers)) for w in range(n_workers)
+    ]
+
+
+def split_chunks(n_items: int, n_chunks: int) -> list[list[int]]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous runs.
+
+    Like :func:`static_blocks` but by item count and with empty chunks
+    dropped: the batched execution backends feed each chunk to one
+    worker as a single stacked solve, so chunks must be contiguous (the
+    energy grid is reassembled by concatenation) and non-empty (an empty
+    stacked solve is a pointless dispatch).  Exact coverage for every
+    ``(n_items, n_chunks)`` pair is asserted here and pinned by tests.
+    """
+    if n_chunks < 1:
+        raise ValueError("need at least one chunk")
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    bounds = np.linspace(0, n_items, min(n_chunks, n_items) + 1).astype(int)
+    chunks = [
+        list(range(bounds[c], bounds[c + 1]))
+        for c in range(len(bounds) - 1)
+        if bounds[c + 1] > bounds[c]
+    ]
+    assert sum(len(c) for c in chunks) == n_items
+    return chunks
 
 
 def greedy_balance(costs: Sequence[float], n_workers: int) -> list[list[int]]:

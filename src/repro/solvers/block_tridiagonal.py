@@ -23,7 +23,7 @@ import numpy as np
 from ..observability.tracer import get_tracer
 from ..perf.flops import zgemm_flops, zinverse_flops
 
-__all__ = ["BlockTridiagLU", "block_tridiag_matvec"]
+__all__ = ["BatchedBlockTridiagLU", "BlockTridiagLU", "block_tridiag_matvec"]
 
 
 def block_tridiag_matvec(diag, upper, lower, x_blocks):
@@ -232,6 +232,179 @@ class BlockTridiagLU:
         ``lower-left`` returns G_{N-1,0}; ``upper-right`` returns G_{0,N-1}.
         Computed from one block-column solve.
         """
+        if which == "lower-left":
+            return self.solve_block_column(0)[self.n_blocks - 1]
+        if which == "upper-right":
+            return self.solve_block_column(self.n_blocks - 1)[0]
+        raise ValueError("which must be 'lower-left' or 'upper-right'")
+
+
+class BatchedBlockTridiagLU:
+    """Batched LU of B block-tridiagonal matrices sharing their couplings.
+
+    The energy-point batching workhorse: for a fixed device, the system
+    matrix A(E) = E - H - Sigma(E) differs between energy points only in
+    its *diagonal* blocks (the couplings -H_{i,i+1} are energy
+    independent), so a whole batch of independent energies factorises as
+    one sequence of stacked ``numpy.linalg`` calls on ``(B, m, m)``
+    arrays — per-slice LAPACK/GEMM identical to B separate
+    :class:`BlockTridiagLU` factorisations, but with the Python
+    interpreter and dispatch overhead amortised over the batch.
+
+    Parameters
+    ----------
+    diag : list of ndarray, shape (B, m_i, m_i)
+        Stacked diagonal blocks, one stack per slab (batch axis first).
+    upper, lower : lists of ndarray
+        Coupling blocks, either shared 2-D ``(m_i, m_{i+1})`` arrays
+        (broadcast over the batch — the transport case) or per-batch 3-D
+        stacks.  ``lower=None`` uses ``upper[i].conj().T`` slab-wise.
+
+    Flop accounting: the instrumented counts are exactly ``B`` times the
+    per-point :class:`BlockTridiagLU` formulas, charged to the same
+    kernel names — :func:`repro.observability.validate_flops` pins the
+    batched path against the analytic formulas too.
+    """
+
+    def __init__(self, diag, upper, lower=None, instrument=True):
+        n = len(diag)
+        self._instrument = bool(instrument)
+        if n < 1:
+            raise ValueError("need at least one diagonal block stack")
+        first = np.asarray(diag[0])
+        if first.ndim != 3 or first.shape[1] != first.shape[2]:
+            raise ValueError(
+                "diagonal stacks must be (batch, m, m); got "
+                f"{first.shape}"
+            )
+        self.batch_size = int(first.shape[0])
+        if lower is None:
+            lower = [np.conj(np.swapaxes(np.asarray(u), -2, -1))
+                     for u in upper]
+        if len(upper) != n - 1 or len(lower) != n - 1:
+            raise ValueError("need N-1 upper and lower blocks")
+        self.n_blocks = n
+        self.sizes = np.array([np.asarray(d).shape[-1] for d in diag])
+        self._upper = [np.ascontiguousarray(u, dtype=complex) for u in upper]
+        self._lower = [np.ascontiguousarray(l, dtype=complex) for l in lower]
+        # forward elimination on the stacks (same op order as the scalar
+        # class, so each batch slice is bit-for-bit the scalar result)
+        self._dinv: list[np.ndarray] = []
+        d0 = np.ascontiguousarray(diag[0], dtype=complex)
+        self._dinv.append(np.linalg.inv(d0))
+        for i in range(1, n):
+            schur = diag[i] - self._lower[i - 1] @ (
+                self._dinv[i - 1] @ self._upper[i - 1]
+            )
+            self._dinv.append(np.linalg.inv(schur))
+        tracer = get_tracer()
+        if tracer.enabled and self._instrument:
+            sizes = self.sizes
+            fl = zinverse_flops(int(sizes[0]))
+            for i in range(1, n):
+                a, b = int(sizes[i - 1]), int(sizes[i])
+                fl += (
+                    zgemm_flops(a, b, a)
+                    + zgemm_flops(b, b, a)
+                    + zinverse_flops(b)
+                )
+            tracer.add_flops("block_lu.factor", self.batch_size * fl)
+
+    # ------------------------------------------------------------------
+    def solve(self, rhs_blocks):
+        """Solve all B systems for stacked block RHS ``(B, m_i, r)``."""
+        n = self.n_blocks
+        if len(rhs_blocks) != n:
+            raise ValueError(f"expected {n} RHS blocks, got {len(rhs_blocks)}")
+        y = [np.asarray(rhs_blocks[0], dtype=complex)]
+        for i in range(1, n):
+            y.append(
+                np.asarray(rhs_blocks[i], dtype=complex)
+                - self._lower[i - 1] @ (self._dinv[i - 1] @ y[i - 1])
+            )
+        x = [None] * n
+        x[n - 1] = self._dinv[n - 1] @ y[n - 1]
+        for i in range(n - 2, -1, -1):
+            x[i] = self._dinv[i] @ (y[i] - self._upper[i] @ x[i + 1])
+        tracer = get_tracer()
+        if tracer.enabled and self._instrument:
+            sizes = self.sizes
+            r = int(y[0].shape[-1])
+            fl = zgemm_flops(int(sizes[n - 1]), r, int(sizes[n - 1]))
+            for i in range(1, n):
+                a, b = int(sizes[i - 1]), int(sizes[i])
+                fl += zgemm_flops(a, r, a) + zgemm_flops(b, r, a)
+            for i in range(n - 2, -1, -1):
+                a, b = int(sizes[i]), int(sizes[i + 1])
+                fl += zgemm_flops(a, r, b) + zgemm_flops(a, r, a)
+            tracer.add_flops("block_lu.solve", self.batch_size * fl)
+        return x
+
+    def solve_block_column(self, j: int):
+        """Stacked blocks ``(B, m_i, m_j)`` of block column j of A^{-1}."""
+        n = self.n_blocks
+        if not 0 <= j < n:
+            raise IndexError(f"block column {j} out of range")
+        m = int(self.sizes[j])
+        eye = np.broadcast_to(
+            np.eye(m, dtype=complex), (self.batch_size, m, m)
+        )
+        y = [None] * n
+        y[j] = np.ascontiguousarray(eye)
+        for i in range(j + 1, n):
+            y[i] = -self._lower[i - 1] @ (self._dinv[i - 1] @ y[i - 1])
+        x = [None] * n
+        x[n - 1] = self._dinv[n - 1] @ y[n - 1] if y[n - 1] is not None else None
+        for i in range(n - 2, -1, -1):
+            if x[i + 1] is None:
+                x[i] = self._dinv[i] @ y[i] if y[i] is not None else None
+            else:
+                acc = y[i] if y[i] is not None else 0.0
+                x[i] = self._dinv[i] @ (acc - self._upper[i] @ x[i + 1])
+        for i in range(n):
+            if x[i] is None:
+                x[i] = np.zeros(
+                    (self.batch_size, int(self.sizes[i]), m), dtype=complex
+                )
+        tracer = get_tracer()
+        if tracer.enabled and self._instrument:
+            sizes = self.sizes
+            fl = 0.0
+            for i in range(j + 1, n):
+                a, b = int(sizes[i - 1]), int(sizes[i])
+                fl += zgemm_flops(a, m, a) + zgemm_flops(b, m, a)
+            fl += zgemm_flops(int(sizes[n - 1]), m, int(sizes[n - 1]))
+            for i in range(n - 2, -1, -1):
+                a, b = int(sizes[i]), int(sizes[i + 1])
+                fl += zgemm_flops(a, m, b) + zgemm_flops(a, m, a)
+            tracer.add_flops("block_lu.column", self.batch_size * fl)
+        return x
+
+    def diagonal_of_inverse(self):
+        """Stacked diagonal blocks ``(B, m_i, m_i)`` of A^{-1}."""
+        n = self.n_blocks
+        G = [None] * n
+        G[n - 1] = self._dinv[n - 1].copy()
+        for i in range(n - 2, -1, -1):
+            di = self._dinv[i]
+            G[i] = di + di @ self._upper[i] @ G[i + 1] @ self._lower[i] @ di
+        tracer = get_tracer()
+        if tracer.enabled and self._instrument:
+            sizes = self.sizes
+            fl = 0.0
+            for i in range(n - 1):
+                a, b = int(sizes[i]), int(sizes[i + 1])
+                fl += (
+                    zgemm_flops(a, b, a)
+                    + zgemm_flops(a, b, b)
+                    + zgemm_flops(a, a, b)
+                    + zgemm_flops(a, a, a)
+                )
+            tracer.add_flops("block_lu.diagonal", self.batch_size * fl)
+        return G
+
+    def corner_block(self, which: str = "lower-left"):
+        """Stacked corner blocks of A^{-1} (as the scalar class)."""
         if which == "lower-left":
             return self.solve_block_column(0)[self.n_blocks - 1]
         if which == "upper-right":
