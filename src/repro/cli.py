@@ -1,12 +1,16 @@
 """Command-line interface: device simulation from JSON specs.
 
-Six subcommands mirror the workflows of the library:
+Seven subcommands mirror the workflows of the library:
 
 * ``simulate`` — one self-consistent bias point of a device spec;
 * ``sweep``    — a transfer (Id-Vg) sweep;
 * ``doctor``   — observability health check: a small monitored sweep with
   convergence tables, physics-invariant verdicts, the per-level
-  communication matrix and a perf-baseline comparison;
+  communication matrix, the self-healing account and a perf-baseline
+  comparison;
+* ``chaos``    — the chaos-campaign harness: injected faults (NaN,
+  ill-conditioning, hangs, dead ranks) at every parallel level against a
+  mini device, verifying the degradation ladders heal them;
 * ``bands``    — bulk band-structure summary of a material;
 * ``scaling``  — the performance-model projection table;
 * ``trace``    — summarise a trace JSON produced by ``--trace``.
@@ -217,6 +221,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full metrics snapshot to FILE as JSON",
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos campaign: inject faults at every parallel level and "
+             "verify the self-healing ladders recover",
+    )
+    p_chaos.add_argument(
+        "--backend", choices=("serial", "thread", "process", "all"),
+        default="serial",
+        help="execution backend(s) to campaign against (default: serial)",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count for the thread/process backends",
+    )
+    p_chaos.add_argument(
+        "--stages", nargs="+", metavar="STAGE", default=None,
+        help="run only these named stages (default: all)",
+    )
+    p_chaos.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the campaign result JSON here (one file per backend "
+             "when --backend all: a .<backend> suffix is inserted)",
+    )
+    p_chaos.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print each stage verdict as it completes",
+    )
+
     p_bands = sub.add_parser("bands", help="bulk band summary of a material")
     p_bands.add_argument("material", help="registry name, e.g. Si-sp3s*")
 
@@ -342,6 +374,8 @@ def _cmd_sweep(args) -> int:
         pass
     print(f"on/off ratio: {curve.on_off_ratio():.3e}")
     print(curve.report.summary())
+    if curve.degradation.total_events:
+        print(curve.degradation.summary())
     perf = _finish_trace(tracer, args.trace)
     _finish_metrics(registry, args.metrics)
     if perf is None and curve.perf is not None:  # pragma: no cover
@@ -352,6 +386,7 @@ def _cmd_sweep(args) -> int:
             "points": curve.points,
             "counted_flops": curve.flops.total,
             "resilience": curve.report.to_dict(),
+            "degradation": curve.degradation.to_dict(),
         }
         if perf is not None:
             payload["perf"] = perf
@@ -444,7 +479,7 @@ def _cmd_doctor(args) -> int:
     try:
         with use_metrics(registry), use_monitor(monitor):
             # 1. monitored mini-sweep (SCF convergence + kernel invariants)
-            IVSweep(scf).transfer_curve(vgs, v_drain=args.vd)
+            curve = IVSweep(scf).transfer_curve(vgs, v_drain=args.vd)
             # 2. modelled 4-level distributed solve for the comm matrix
             dist = DistributedTransport(
                 transport, max_spatial=args.max_spatial
@@ -507,6 +542,14 @@ def _cmd_doctor(args) -> int:
     checks = snap.total("invariant.checks")
     print(f"checks : {int(checks)} invariant evaluations")
     print(monitor.summary())
+
+    # --- self-healing account -----------------------------------------
+    from .resilience import get_sentinel
+
+    sentinel = get_sentinel()
+    print(f"health : sentinel mode={sentinel.mode}, "
+          f"{sentinel.n_trips} lifetime trip(s)")
+    print(curve.degradation.summary())
 
     # --- per-level communication matrix -------------------------------
     by_level = trace.by_level()
@@ -578,6 +621,37 @@ def _cmd_doctor(args) -> int:
     print(f"doctor : OK (verdict {report.verdict}, "
           f"{monitor.n_violations - organic_violations} drill violation(s))")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from .resilience.chaos import run_campaign, write_campaign_json
+
+    backends = (
+        ("serial", "thread", "process")
+        if args.backend == "all"
+        else (args.backend,)
+    )
+    all_passed = True
+    for backend in backends:
+        campaign = run_campaign(
+            backend=backend,
+            workers=args.workers,
+            stages=args.stages,
+            verbose=args.verbose,
+        )
+        print(campaign.summary())
+        all_passed = all_passed and campaign.passed
+        if args.output:
+            path = args.output
+            if len(backends) > 1:
+                root, dot, ext = path.rpartition(".")
+                path = (
+                    f"{root}.{backend}{dot}{ext}" if dot else
+                    f"{path}.{backend}"
+                )
+            write_campaign_json(campaign, path)
+            print(f"wrote: {path}")
+    return 0 if all_passed else 1
 
 
 def _cmd_bands(args) -> int:
@@ -671,6 +745,7 @@ def main(argv=None) -> int:
         "bands": _cmd_bands,
         "scaling": _cmd_scaling,
         "trace": _cmd_trace,
+        "chaos": _cmd_chaos,
     }[args.command]
     return handler(args)
 

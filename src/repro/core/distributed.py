@@ -27,6 +27,7 @@ from ..observability.tracer import get_tracer
 from ..parallel.backend import get_backend
 from ..parallel.comm import payload_nbytes
 from ..parallel.decomposition import Decomposition, choose_level_sizes
+from ..parallel.scheduler import split_chunks
 from ..physics.grids import EnergyGrid
 from .transport import TransportCalculation
 
@@ -313,6 +314,7 @@ class DistributedTransport:
         injector=None,
         retry=None,
         report=None,
+        rank_recovery: str = "requeue",
     ) -> dict:
         """SPMD entry point: every rank calls this with its communicator.
 
@@ -323,16 +325,25 @@ class DistributedTransport:
         only its share and ``allreduce`` combines them.
 
         Fault tolerance: when a representative rank dies
-        (:class:`repro.errors.RankFailure`, organic or injected), a
-        surviving rank reclaims the dead rank's *exact* task list via the
-        explicit-``tasks`` path of :meth:`rank_partial`.  Because the
-        reclaimed list is solved in the same order and reduced at the same
-        position, the summed observables are bit-identical to the
-        fault-free run.
+        (:class:`repro.errors.RankFailure`, organic or injected), recovery
+        follows ``rank_recovery``:
+
+        * ``"requeue"`` (default) — one surviving rank reclaims the dead
+          rank's *exact* task list via the explicit-``tasks`` path of
+          :meth:`rank_partial`.  Because the reclaimed list is solved in
+          the same order and reduced at the same position, the summed
+          observables are bit-identical to the fault-free run.
+        * ``"shrink"`` — the dead rank's tasks are split across *all*
+          survivors (elastic rank-shrink: the sweep continues on a
+          smaller machine).  Lower recovery latency, but the split
+          changes the per-rank summation order, so observables agree
+          with the clean run only to floating-point reduction tolerance.
 
         Returns a dict with ``current_a``, ``density_per_atom`` and
         ``n_tasks_total``.
         """
+        if rank_recovery not in ("requeue", "shrink"):
+            raise ValueError("rank_recovery must be 'requeue' or 'shrink'")
         size = n_ranks if n_ranks is not None else comm.Get_size()
         decomp, grid = self.decomposition(size, v_drain, potential_ev)
         spatial = decomp.groups[3]
@@ -387,19 +398,55 @@ class DistributedTransport:
                         injector=injector, retry=retry, report=report,
                     )
                 except RankFailure:
-                    # requeue: a survivor reclaims the dead rank's tasks,
-                    # preserving task order (and hence bit-identical sums)
-                    survivor = representatives[
-                        (i + 1) % len(representatives)
-                    ]
+                    survivors = [x for x in representatives if x != r]
+                    if not survivors:
+                        raise  # nothing left to shrink or requeue onto
+                    dead_tasks = decomp.tasks_of_rank(r)
                     if report is not None:
                         report.rank_failures += 1
-                        report.record_fallback("rank:requeue")
-                    p = self.rank_partial(
-                        survivor, decomp, grid, potential_ev, v_drain,
-                        tasks=decomp.tasks_of_rank(r),
-                        injector=injector, retry=retry, report=report,
-                    )
+                    if rank_recovery == "shrink" and dead_tasks:
+                        # elastic rank-shrink: split the dead rank's list
+                        # across every survivor (faster recovery, summed
+                        # in a different order than the clean run)
+                        if report is not None:
+                            report.record_fallback("rank:shrink")
+                        n_helpers = min(len(survivors), len(dead_tasks))
+                        chunks = split_chunks(len(dead_tasks), n_helpers)
+                        current_r = 0.0
+                        density_r = np.zeros(
+                            self.calc.built.n_atoms
+                        )
+                        n_tasks_r = 0
+                        for helper, chunk in zip(survivors, chunks):
+                            sub = self.rank_partial(
+                                helper, decomp, grid, potential_ev,
+                                v_drain,
+                                tasks=[dead_tasks[j] for j in chunk],
+                                injector=injector, retry=retry,
+                                report=report,
+                            )
+                            current_r += sub.current_a
+                            density_r += sub.density_per_atom
+                            n_tasks_r += sub.n_tasks
+                        p = PartialObservables(
+                            current_a=current_r,
+                            density_per_atom=density_r,
+                            n_tasks=n_tasks_r,
+                        )
+                    else:
+                        # requeue: one survivor reclaims the dead rank's
+                        # tasks, preserving task order (and hence
+                        # bit-identical sums)
+                        survivor = representatives[
+                            (i + 1) % len(representatives)
+                        ]
+                        if report is not None:
+                            report.record_fallback("rank:requeue")
+                        p = self.rank_partial(
+                            survivor, decomp, grid, potential_ev, v_drain,
+                            tasks=dead_tasks,
+                            injector=injector, retry=retry, report=report,
+                        )
                     if report is not None:
                         report.requeued_tasks += p.n_tasks
                 partials.append(p)

@@ -28,7 +28,9 @@ from ..observability import PerfReport, get_tracer
 from ..observability.metrics import MetricsSnapshot, get_metrics
 from ..perf.flops import FlopCounter
 from ..resilience import ResilienceReport, SCFRescue, SweepCheckpoint
+from ..resilience.degrade import DegradationReport
 from ..resilience.faults import non_finite
+from ..resilience.health import get_sentinel
 from .scf import SCFResult, SelfConsistentSolver
 
 __all__ = ["IVPoint", "IVCurve", "IVSweep", "subthreshold_swing_mv_dec"]
@@ -89,6 +91,10 @@ class IVCurve:
     ``metrics`` is the convergence/invariant telemetry
     (:class:`repro.observability.MetricsSnapshot`) of the sweep, attached
     whenever it ran under an active metrics registry.
+    ``degradation`` is the merged
+    :class:`repro.resilience.DegradationReport` of every bias point —
+    sentinel trips, ladder steps, quarantined energy nodes and
+    elastic-execution events, fully accounted for ``repro doctor``.
     """
 
     points: list = field(default_factory=list)
@@ -96,6 +102,7 @@ class IVCurve:
     report: ResilienceReport = field(default_factory=ResilienceReport)
     perf: PerfReport | None = None
     metrics: MetricsSnapshot | None = None
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
     def currents(self) -> np.ndarray:
         """Currents (A) in sweep order."""
@@ -197,11 +204,18 @@ class IVSweep:
     def _solve_point(
         self, v_gate: float, v_drain: float, phi_warm, report: ResilienceReport
     ):
-        """One resilient bias point -> (IVPoint, phi | None, FlopCounter)."""
+        """One resilient bias point:
+        ``(IVPoint, phi | None, FlopCounter, DegradationReport)``."""
         key = _bias_key(v_gate, v_drain)
         flops = FlopCounter()
+        degradation = DegradationReport()
         recovery: list[str] = []
         used_warm_start = phi_warm is not None
+
+        def fold_degradation(result) -> None:
+            d = getattr(result, "degradation", None)
+            if d is not None:
+                degradation.merge(d)
 
         def attempt(attempt_number: int) -> SCFResult:
             mode = (
@@ -211,6 +225,7 @@ class IVSweep:
             )
             result = self.scf.run(v_gate, v_drain, phi0=phi_warm)
             flops.merge(result.flops)
+            fold_degradation(result)
             if mode == "nan":
                 raise NumericalBreakdownError(
                     f"injected NaN observable at bias {key}", injected=True
@@ -246,7 +261,7 @@ class IVSweep:
                 n_iterations=0,
                 recovery=tuple(recovery) + ("quarantined",),
             )
-            return point, None, flops
+            return point, None, flops, degradation
 
         if not result.converged and self.rescue is not None:
             rescued, path = self.rescue.run(
@@ -257,6 +272,7 @@ class IVSweep:
                 report=report,
             )
             flops.merge(rescued.flops)
+            fold_degradation(rescued)
             recovery.extend(path)
             if rescued.converged or not result.residuals or (
                 rescued.residuals
@@ -276,11 +292,13 @@ class IVSweep:
             n_iterations=result.n_iterations,
             recovery=tuple(recovery),
         )
-        return point, result.phi, flops
+        return point, result.phi, flops, degradation
 
     def _sweep(self, bias_pairs, warm_start: bool, meta: dict) -> IVCurve:
         curve = IVCurve()
         report = curve.report
+        sentinel = get_sentinel()
+        marker0 = sentinel.marker()
         phi = None
         completed: dict = {}
         if self.checkpoint is not None:
@@ -304,11 +322,12 @@ class IVSweep:
                 v_gate=float(v_gate),
                 v_drain=float(v_drain),
             ):
-                point, phi_new, flops = self._solve_point(
+                point, phi_new, flops, point_degradation = self._solve_point(
                     v_gate, v_drain, phi, report
                 )
             curve.points.append(point)
             curve.flops.merge(flops)
+            curve.degradation.merge(point_degradation)
             if warm_start and phi_new is not None:
                 phi = phi_new
             if self.checkpoint is not None:
@@ -322,6 +341,9 @@ class IVSweep:
         metrics = get_metrics()
         if metrics.enabled:
             curve.metrics = metrics.snapshot()
+        # sweep window contains every bias-point window: overwrite the
+        # merged per-point trip counts with the authoritative total
+        curve.degradation.set_trips(sentinel.trips_since(marker0))
         return curve
 
     # ------------------------------------------------------------------

@@ -26,6 +26,8 @@ from ..observability.metrics import get_metrics
 from ..perf.flops import FlopCounter
 from ..poisson.charge import QuantumCorrectedCharge, SemiclassicalCharge
 from ..poisson.nonlinear import AndersonMixer, NonlinearPoisson
+from ..resilience.degrade import DegradationReport
+from ..resilience.health import get_sentinel
 from .device import BuiltDevice
 from .transport import TransportCalculation, TransportResult
 
@@ -50,6 +52,9 @@ class SCFResult:
     n_iterations : int
     flops : FlopCounter
         Accumulated over all transport solves of the bias point.
+    degradation : DegradationReport or None
+        Merged self-healing account over every transport solve of the
+        bias point (including continuation-ramp stages).
     """
 
     phi: np.ndarray
@@ -59,6 +64,7 @@ class SCFResult:
     converged: bool
     n_iterations: int
     flops: FlopCounter
+    degradation: DegradationReport | None = None
 
 
 class SelfConsistentSolver:
@@ -193,6 +199,9 @@ class SelfConsistentSolver:
         grid = built.poisson_grid
         vol = grid.node_volume()
         solver = self._poisson_solver(v_gate)
+        sentinel = get_sentinel()
+        degradation = DegradationReport()
+        marker0 = sentinel.marker()
         ramp_flops = FlopCounter()
         ramp_iterations = 0
         if (
@@ -220,6 +229,8 @@ class SelfConsistentSolver:
                 phi_ramp = stage.phi
                 ramp_flops.merge(stage.flops)
                 ramp_iterations += stage.n_iterations
+                if stage.degradation is not None:
+                    degradation.merge(stage.degradation)
                 if ramp_checkpoint is not None:
                     ramp_checkpoint.save(vd_step, phi_ramp)
             phi0 = phi_ramp
@@ -243,6 +254,8 @@ class SelfConsistentSolver:
             u_atoms = self.atom_potential_ev(phi)
             transport_result = self.transport.solve_bias(u_atoms, v_drain)
             flops.merge(transport_result.flops)
+            if transport_result.degradation is not None:
+                degradation.merge(transport_result.degradation)
             n_nodes = grid.deposit(
                 built.device.structure.positions,
                 transport_result.density_per_atom,
@@ -285,6 +298,11 @@ class SelfConsistentSolver:
         final = self.transport.solve_bias(self.atom_potential_ev(phi), v_drain)
         flops.merge(final.flops)
         flops.merge(ramp_flops)
+        if final.degradation is not None:
+            degradation.merge(final.degradation)
+        # the outer window contains every transport window above, so the
+        # authoritative trip counts come from the sweep-level ledger
+        degradation.set_trips(sentinel.trips_since(marker0))
         if ramp_checkpoint is not None:
             ramp_checkpoint.clear()
         if metrics.enabled:
@@ -314,4 +332,5 @@ class SelfConsistentSolver:
             converged=converged,
             n_iterations=len(residuals) + ramp_iterations,
             flops=flops,
+            degradation=degradation,
         )

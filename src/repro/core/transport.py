@@ -15,10 +15,13 @@ the same accounting convention as the paper.
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import DegradationBudgetError
 from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
 from ..negf.rgf import RGFSolver
 from ..observability.tracer import trace_span
@@ -30,7 +33,16 @@ from ..perf.flops import (
     sancho_rubio_flops,
     wf_solve_flops,
 )
-from ..physics.grids import EnergyGrid, fermi_window_grid
+from ..physics.grids import EnergyGrid, fermi_window_grid, trapezoid_weights
+from ..resilience.degrade import (
+    LADDER_EXCEPTIONS,
+    DegradationBudget,
+    DegradationReport,
+    corrupt_hamiltonian,
+    dense_oracle_solve,
+)
+from ..resilience.faults import nan_like, non_finite
+from ..resilience.health import get_sentinel
 from ..tb.hamiltonian import build_device_hamiltonian, wire_bloch_hamiltonian
 from ..wf.qtbm import WFSolver
 from .device import BuiltDevice
@@ -57,6 +69,10 @@ class TransportResult:
         Open source-side channels per sample.
     flops : FlopCounter
         Analytic flop account of this solve.
+    degradation : DegradationReport or None
+        Account of every self-healing action taken during this solve
+        (sentinel trips, ladder steps, quarantined energy points,
+        elastic-execution events); None only for hand-built results.
     """
 
     energy_grid: EnergyGrid
@@ -67,6 +83,7 @@ class TransportResult:
     mu_drain: float
     channels: np.ndarray
     flops: FlopCounter
+    degradation: DegradationReport | None = None
 
 
 class TransportCalculation:
@@ -103,6 +120,13 @@ class TransportCalculation:
         its *measured* flops — so the default is off to keep existing
         measured-flop baselines untouched.  The cache is invalidated
         whenever ``solve_bias`` sees a changed potential.
+    injector : repro.resilience.FaultInjector or None
+        Numerical-fault injection for chaos campaigns: site ``"hblock"``
+        corrupts the per-k Hamiltonian (NaN / ill-conditioning), site
+        ``"energy"`` poisons individual energy-point solves, site
+        ``"worker"`` fires inside backend workers.
+    degradation_budget : DegradationBudget or None
+        Bound on quarantined quadrature per k-grid (None = defaults).
     """
 
     def __init__(
@@ -120,6 +144,8 @@ class TransportCalculation:
         workers=None,
         batch_energies: bool = False,
         sigma_cache=None,
+        injector=None,
+        degradation_budget=None,
     ):
         if method not in ("wf", "rgf"):
             raise ValueError("method must be 'wf' or 'rgf'")
@@ -140,6 +166,8 @@ class TransportCalculation:
         if sigma_cache is True:
             sigma_cache = SelfEnergyCache()
         self.sigma_cache = sigma_cache
+        self.injector = injector
+        self.degradation_budget = degradation_budget or DegradationBudget()
         self._potential_fingerprint: bytes | None = None
 
     # ------------------------------------------------------------------
@@ -204,14 +232,15 @@ class TransportCalculation:
             band_bottom=bottom,
         )
 
-    def _make_solver(self, H):
+    def _make_solver(self, H, surface_method: str | None = None):
+        method = surface_method or self.surface_method
         if self.method == "rgf":
             return RGFSolver(
-                H, eta=self.eta, surface_method=self.surface_method,
+                H, eta=self.eta, surface_method=method,
                 sigma_cache=self.sigma_cache,
             )
         return WFSolver(
-            H, eta=self.eta, surface_method=self.surface_method,
+            H, eta=self.eta, surface_method=method,
             sigma_cache=self.sigma_cache,
         )
 
@@ -223,6 +252,102 @@ class TransportCalculation:
             counter.add("rgf", rgf_solve_flops(n, m))
         else:
             counter.add("wf", wf_solve_flops(n, m, max(n_channels, 1)))
+
+    # -- degradation ladder --------------------------------------------
+
+    def _resilient_point(
+        self, ik, k, potential_ev, solver, e, degradation, sentinel
+    ):
+        """Solve one energy point down the graceful-degradation ladder.
+
+        Rungs (contain mode): plain solve -> per-point rebuild with the
+        ``robust`` surface ladder -> dense-oracle reference solve ->
+        quarantine (returns None).  Strict mode takes the plain solve and
+        lets every error propagate; with the sentinel off and no injector
+        this *is* the plain solve (bit-identical clean path).
+        """
+        injector = self.injector
+
+        def fire():
+            # the "energy" site models per-point numerical faults; fired
+            # at every rung so persistent (once=False) faults climb the
+            # whole ladder and reach quarantine
+            if injector is None:
+                return None
+            return injector.fire("energy", (ik, float(e)))
+
+        if not sentinel.enabled and injector is None:
+            return solver.solve(e)
+
+        if sentinel.strict:
+            mode = fire()
+            res = solver.solve(e)
+            if mode == "nan":
+                res = nan_like(res)
+            if non_finite(res):
+                sentinel.trip(
+                    "energy", "nonfinite",
+                    detail=f"E={e:.6g} (ik={ik})",
+                )  # strict: raises NumericalBreakdownError
+            return res
+
+        # rung 1: the configured solver as-is
+        try:
+            marker = sentinel.marker()
+            mode = fire()
+            res = solver.solve(e)
+            if mode == "nan":
+                res = nan_like(res)
+            if not non_finite(res) and not sentinel.trips_since(marker):
+                return res
+            if non_finite(res):
+                sentinel.trip(
+                    "energy", "nonfinite", detail=f"E={e:.6g} (ik={ik})"
+                )
+        except DegradationBudgetError:
+            raise
+        except LADDER_EXCEPTIONS:
+            pass
+
+        # rung 2: rebuild from scratch (clears transient operator
+        # corruption) and climb the robust surface-GF ladder
+        degradation.record_ladder("per-point:robust")
+        try:
+            mode = fire()
+            H2 = self.hamiltonian(potential_ev, k)
+            if mode in ("nan", "illcond"):
+                H2 = corrupt_hamiltonian(H2, mode)
+            robust = self._make_solver(H2, surface_method="robust")
+            res = robust.solve(e)
+            if mode == "nan":
+                res = nan_like(res)
+            if not non_finite(res):
+                return res
+        except DegradationBudgetError:
+            raise
+        except LADDER_EXCEPTIONS:
+            pass
+
+        # rung 3: dense oracle — slow, numerically bulletproof
+        degradation.record_ladder("dense-oracle")
+        try:
+            mode = fire()
+            H3 = self.hamiltonian(potential_ev, k)
+            if mode in ("nan", "illcond"):
+                H3 = corrupt_hamiltonian(H3, mode)
+            res = dense_oracle_solve(H3, e, eta=self.eta)
+            if mode == "nan":
+                res = nan_like(res)
+            if not non_finite(res):
+                return res
+        except DegradationBudgetError:
+            raise
+        except LADDER_EXCEPTIONS:
+            pass
+
+        # ladder exhausted: quarantine the energy node
+        degradation.quarantine(ik, e)
+        return None
 
     def _run_backend(self, solver, energies: list):
         """Solve ``energies`` through the configured execution backend.
@@ -259,8 +384,14 @@ class TransportCalculation:
         n_chunks = 1 if backend.name == "serial" else backend.workers
         chunks = split_chunks(len(energies), n_chunks)
         payloads = [
-            (solver, [energies[i] for i in chunk], self.batch_energies)
-            for chunk in chunks
+            (
+                solver,
+                [energies[i] for i in chunk],
+                self.batch_energies,
+                self.injector,
+                chunk_id,
+            )
+            for chunk_id, chunk in enumerate(chunks)
         ]
         out: list = []
         for chunk_results in backend.map(_solve_chunk, payloads):
@@ -293,6 +424,10 @@ class TransportCalculation:
             return self._solve_bias(potential_ev, v_drain, energy_grid)
 
     def _solve_bias(self, potential_ev, v_drain, energy_grid):
+        sentinel = get_sentinel()
+        degradation = DegradationReport()
+        marker0 = sentinel.marker()
+        elastic0 = self.backend.elastic_stats()
         if self.sigma_cache is not None:
             fp = np.ascontiguousarray(potential_ev).tobytes()
             if (
@@ -322,15 +457,24 @@ class TransportCalculation:
 
         for ik, (k, wk) in enumerate(zip(kgrid.k_points, kgrid.weights)):
             H = self.hamiltonian(potential_ev, k)
+            h_suspect = False
+            if self.injector is not None:
+                mode = self.injector.fire("hblock", ik)
+                if mode in ("nan", "illcond"):
+                    H = corrupt_hamiltonian(H, mode)
+                    h_suspect = True
             solver = self._make_solver(H)
             cache: dict[float, object] = {}
 
             def sample(energy: float):
                 e = float(energy)
                 if e not in cache:
-                    res = solver.solve(e)
+                    res = self._resilient_point(
+                        ik, k, potential_ev, solver, e, degradation, sentinel
+                    )
                     cache[e] = res
-                    self._charge_flops(flops, H, res.n_channels_left)
+                    if res is not None:
+                        self._charge_flops(flops, H, res.n_channels_left)
                 return cache[e]
 
             if self.energy_mode == "adaptive" and energy_grid is None:
@@ -339,6 +483,8 @@ class TransportCalculation:
 
                 def indicator(energy: float) -> float:
                     res = sample(energy)
+                    if res is None:  # quarantined: no refinement signal
+                        return 0.0
                     fl = float(fermi_dirac(energy, mu_s, kT))
                     fr = float(fermi_dirac(energy, mu_d, kT))
                     return float(
@@ -355,7 +501,12 @@ class TransportCalculation:
                     max_points=self.max_energy_points,
                 )
                 k_grid_e = refiner.refine(indicator)
-            elif self.backend.name == "serial" and not self.batch_energies:
+            elif (
+                self.backend.name == "serial" and not self.batch_energies
+            ) or h_suspect:
+                # a known-corrupted H must go through the in-process
+                # per-point ladder: a process pool's sentinel trips stay
+                # in the children, where the parent cannot heal them
                 k_grid_e = grid
                 for energy in k_grid_e.energies:
                     sample(energy)
@@ -365,11 +516,45 @@ class TransportCalculation:
                     float(e) for e in k_grid_e.energies
                     if float(e) not in cache
                 ]
-                for energy, res in zip(
-                    fresh, self._run_backend(solver, fresh)
-                ):
-                    cache[energy] = res
-                    self._charge_flops(flops, H, res.n_channels_left)
+                chunk_results = None
+                try:
+                    chunk_results = self._run_backend(solver, fresh)
+                except DegradationBudgetError:
+                    raise
+                except LADDER_EXCEPTIONS:
+                    if sentinel.strict or not sentinel.enabled:
+                        raise
+                    degradation.record_ladder("chunk:exception")
+                if chunk_results is not None:
+                    for energy, res in zip(fresh, chunk_results):
+                        if res is not None and not non_finite(res):
+                            cache[energy] = res
+                            self._charge_flops(
+                                flops, H, res.n_channels_left
+                            )
+                # anything the chunked path could not deliver cleanly is
+                # re-solved point-by-point down the degradation ladder
+                leftover = [e for e in fresh if e not in cache]
+                if leftover and sentinel.enabled and not sentinel.strict:
+                    degradation.record_ladder("chunk:per-point")
+                for energy in leftover:
+                    sample(energy)
+
+            # quarantined nodes are dropped from this k-grid and the
+            # trapezoid weights rebuilt on the survivors, within budget
+            kept = [
+                float(e) for e in k_grid_e.energies
+                if cache.get(float(e)) is not None
+            ]
+            n_q = len(k_grid_e) - len(kept)
+            if n_q > 0:
+                self.degradation_budget.check(
+                    n_q, len(k_grid_e), context=f"k-point {ik}"
+                )
+                pts = np.asarray(kept)
+                k_grid_e = EnergyGrid(pts, trapezoid_weights(pts))
+                degradation.reweighted_grids += 1
+                degradation.record_ladder("quadrature:reweight")
 
             n_e_k = len(k_grid_e)
             spectral_l = np.zeros((n_e_k, H.total_size))
@@ -411,6 +596,16 @@ class TransportCalculation:
                 )
             ).astype(int)
 
+        elastic1 = self.backend.elastic_stats()
+        degradation.stragglers += elastic1["stragglers"] - elastic0["stragglers"]
+        degradation.speculative_wins += (
+            elastic1["speculative_wins"] - elastic0["speculative_wins"]
+        )
+        degradation.pool_restarts += (
+            elastic1["pool_restarts"] - elastic0["pool_restarts"]
+        )
+        degradation.set_trips(sentinel.trips_since(marker0))
+
         return TransportResult(
             energy_grid=grid,
             transmission=transmission,
@@ -420,7 +615,20 @@ class TransportCalculation:
             mu_drain=mu_d,
             channels=channels,
             flops=flops,
+            degradation=degradation,
         )
+
+
+def _in_worker() -> bool:
+    """True when executing inside a backend worker (thread or process).
+
+    The "worker" fault site must fire only in workers: the parent-side
+    speculative re-execution of a straggler runs the same function and
+    has to stay clean for the recovery to actually recover.
+    """
+    if multiprocessing.parent_process() is not None:
+        return True
+    return threading.current_thread().name.startswith("repro-worker")
 
 
 def _solve_chunk(payload):
@@ -431,8 +639,21 @@ def _solve_chunk(payload):
     calculation object.  With the process backend the children's
     tracer/metrics updates stay in the children — the parent re-charges
     the analytic flop account from the returned results instead.
+
+    Payloads may carry two optional trailing fields (older 3-tuples keep
+    working): a :class:`repro.resilience.FaultInjector` whose ``"worker"``
+    site fires here, and the chunk id keying it.
     """
-    solver, energies, batched = payload
+    solver, energies, batched = payload[:3]
+    injector = payload[3] if len(payload) > 3 else None
+    chunk_id = payload[4] if len(payload) > 4 else 0
+    mode = None
+    if injector is not None and _in_worker():
+        mode = injector.fire("worker", chunk_id)
     if batched:
-        return solver.solve_batch(energies)
-    return [solver.solve(float(e)) for e in energies]
+        results = solver.solve_batch(energies)
+    else:
+        results = [solver.solve(float(e)) for e in energies]
+    if mode == "nan":
+        results = [nan_like(r) for r in results]
+    return results

@@ -23,6 +23,7 @@ __all__ = [
     "SurfaceGFConvergenceError",
     "SCFConvergenceError",
     "NumericalBreakdownError",
+    "DegradationBudgetError",
     "PhysicsInvariantError",
     "TaskFailure",
     "RankFailure",
@@ -97,6 +98,32 @@ class SCFConvergenceError(ConvergenceError):
 
 class NumericalBreakdownError(ReproError):
     """An observable came back NaN/inf — the solve silently broke down."""
+
+
+class DegradationBudgetError(ReproError):
+    """The degradation ladder quarantined more quadrature than allowed.
+
+    Deliberately *not* a :class:`NumericalBreakdownError`: the IV sweep
+    quarantines breakdowns point-by-point, but a blown budget means the
+    surviving quadrature can no longer represent the integral — the sweep
+    must fail loudly instead of returning a silently-mutilated current.
+
+    Attributes
+    ----------
+    n_quarantined, n_total : int
+        How many energy points were quarantined out of how many sampled.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        n_quarantined: int = 0,
+        n_total: int = 0,
+        injected: bool = False,
+    ):
+        super().__init__(message, injected=injected)
+        self.n_quarantined = n_quarantined
+        self.n_total = n_total
 
 
 class PhysicsInvariantError(ReproError):

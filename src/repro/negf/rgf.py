@@ -23,6 +23,7 @@ import numpy as np
 
 from ..observability.invariants import get_monitor
 from ..observability.tracer import trace_span
+from ..resilience.health import get_sentinel
 from ..solvers.block_tridiagonal import BatchedBlockTridiagLU, BlockTridiagLU
 from ..tb.hamiltonian import BlockTridiagonalHamiltonian
 from .self_energy import (
@@ -211,6 +212,13 @@ class RGFSolver:
         ) / (2.0 * np.pi)
         dos = -np.concatenate([np.diag(g).imag for g in gdiag]) / np.pi
 
+        sentinel = get_sentinel()
+        if sentinel.enabled:
+            sentinel.check_finite(
+                "rgf", t, spectral_l, spectral_r, dos,
+                detail=f"E={energy:.6g}",
+            )
+
         n_l = sig_l.n_open_channels()
         n_r = sig_r.n_open_channels()
         monitor = get_monitor()
@@ -309,6 +317,13 @@ class RGFSolver:
         dos = -np.concatenate(
             [np.diagonal(g, axis1=1, axis2=2).imag for g in gdiag], axis=1
         ) / np.pi
+
+        sentinel = get_sentinel()
+        if sentinel.enabled:
+            sentinel.check_finite(
+                "rgf", t, spectral_l, spectral_r, dos,
+                detail=f"batch of {len(energies)}",
+            )
 
         monitor = get_monitor()
         results = []

@@ -140,6 +140,7 @@ def contact_self_energy(
         hit = cache.lookup(key)
         if hit is not None:
             return hit
+    degraded = False
     if method == "sancho":
         g, _ = sancho_rubio(energy, h00, h01, side=side, eta=eta)
     elif method == "eigen":
@@ -148,7 +149,12 @@ def contact_self_energy(
         # local import: repro.resilience.policies imports this package
         from ..resilience.policies import robust_surface_gf
 
-        g, _ = robust_surface_gf(energy, h00, h01, side=side, eta=eta)
+        g, path = robust_surface_gf(energy, h00, h01, side=side, eta=eta)
+        # a fallback answer (escalated eta or eigen construction) is
+        # deliberately computed at *different* parameters than the cache
+        # key claims — caching it would poison every later lookup at
+        # this (method, eta, E) with a degraded Sigma
+        degraded = path != "sancho"
     else:
         raise ValueError("method must be 'sancho', 'eigen' or 'robust'")
     if tau is None:
@@ -160,7 +166,10 @@ def contact_self_energy(
         sigma = tau @ g @ tau.conj().T
     result = LeadSelfEnergy(sigma=sigma, side=side, energy=energy)
     if cache is not None:
-        cache.store(key, result)
+        if degraded:
+            cache.reject("degraded-solve")
+        else:
+            cache.store(key, result)
     return result
 
 

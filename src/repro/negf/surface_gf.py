@@ -37,6 +37,7 @@ from ..errors import SurfaceGFConvergenceError
 from ..observability.metrics import get_metrics, metric_key
 from ..observability.tracer import get_tracer
 from ..perf.flops import sancho_rubio_flops
+from ..resilience.health import get_sentinel
 
 __all__ = [
     "sancho_rubio",
@@ -52,6 +53,42 @@ _ITER_KEYS = {
     side: metric_key("surface_gf.iterations", {"side": side})
     for side in ("left", "right")
 }
+
+
+def _surface_health_check(g, energy, eta, h00, h01, side) -> None:
+    """Post-solve sentinel: finiteness plus the *physical* fixed-point
+    residual ``(z - h00)g - h01~ g h01~ g - I`` (with ``h01~`` the
+    side-appropriate coupling) — a converged-looking decimation whose g
+    does not satisfy its own defining equation is silently wrong.  Three
+    extra GEMMs against the ~8 per decimation iteration: ~1-2% overhead.
+    """
+    sentinel = get_sentinel()
+    if not sentinel.enabled:
+        return
+    g = np.asarray(g)
+    if not np.all(np.isfinite(g)):
+        sentinel.trip("surface_gf", "nonfinite", detail=f"side={side} E={energy:.6g}")
+        return
+    m = h00.shape[-1]
+    eye = np.eye(m)
+    if g.ndim == 3:
+        z = (np.asarray(energy, dtype=float) + 1j * eta)[:, None, None] * eye
+    else:
+        z = (float(energy) + 1j * eta) * eye
+    if side == "left":
+        t1 = (z - h00) @ g
+        t2 = h01.conj().T @ g @ h01 @ g
+    else:
+        t1 = (z - h00) @ g
+        t2 = h01 @ g @ h01.conj().T @ g
+    r = t1 - t2 - eye
+    # backward-relative: near a band edge g ~ 1/eta blows up the absolute
+    # residual by rounding alone; scale by the terms that produced it
+    scale = max(1.0, float(np.abs(t1).max()), float(np.abs(t2).max()))
+    res = float(np.abs(r).max()) / scale
+    sentinel.check_residual(
+        "surface_gf", res, detail=f"side={side} fixed-point residual"
+    )
 
 
 def sancho_rubio(
@@ -107,7 +144,23 @@ def sancho_rubio(
         eps = eps + agb + beta @ g_bulk @ alpha
         alpha = alpha @ g_bulk @ alpha
         beta = beta @ g_bulk @ beta
-        if np.linalg.norm(alpha, ord="fro") < tol:
+        norm_a = np.linalg.norm(alpha, ord="fro")
+        if not np.isfinite(norm_a):
+            # poisoned input (NaN/Inf lead blocks): the fixed point can
+            # never contract — fail fast instead of burning max_iter
+            sentinel = get_sentinel()
+            if sentinel.enabled:
+                sentinel.trip(
+                    "surface_gf", "nonfinite",
+                    detail=f"decimation diverged, side={side} E={energy:.6g}",
+                )
+            raise SurfaceGFConvergenceError(
+                f"Sancho-Rubio decimation went non-finite at iteration {it} "
+                f"(E = {energy}, eta = {eta}); the lead blocks are poisoned",
+                energy=energy,
+                eta=eta,
+            )
+        if norm_a < tol:
             break
     else:
         metrics = get_metrics()
@@ -120,6 +173,7 @@ def sancho_rubio(
             eta=eta,
         )
     g = np.linalg.solve(z - eps_s, np.eye(m))
+    _surface_health_check(g, energy, eta, h00, h01, side)
     tracer = get_tracer()
     if tracer.enabled:
         # per iteration: one inversion + four a @ g @ b products (8 GEMMs),
@@ -202,6 +256,22 @@ def sancho_rubio_batch(
         norms = np.sqrt(
             np.add.reduce((alpha.conj() * alpha).real, axis=(1, 2))
         )
+        finite = np.isfinite(norms)
+        if not finite.all():
+            bad = float(energies[active[~finite][0]])
+            sentinel = get_sentinel()
+            if sentinel.enabled:
+                sentinel.trip(
+                    "surface_gf", "nonfinite",
+                    detail=f"batched decimation diverged, side={side} "
+                           f"E={bad:.6g}",
+                )
+            raise SurfaceGFConvergenceError(
+                f"Sancho-Rubio decimation went non-finite at iteration {it} "
+                f"(E = {bad}, eta = {eta}); the lead blocks are poisoned",
+                energy=bad,
+                eta=eta,
+            )
         done = norms < tol
         if done.any():
             idx = active[done]
@@ -229,6 +299,7 @@ def sancho_rubio_batch(
             energy=bad,
             eta=eta,
         )
+    _surface_health_check(g_out, energies, eta, h00, h01, side)
     tracer = get_tracer()
     if tracer.enabled:
         fl = sum(sancho_rubio_flops(m, int(it_e)) for it_e in iters)

@@ -33,7 +33,13 @@ import hashlib
 import os
 import threading
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
@@ -99,6 +105,7 @@ class SelfEnergyCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -122,7 +129,16 @@ class SelfEnergyCache:
         return value
 
     def store(self, key, value) -> None:
-        """Insert ``key -> value``, evicting least-recently-used entries."""
+        """Insert ``key -> value``, evicting least-recently-used entries.
+
+        Values carrying a non-finite ``sigma`` (a broken-down solve) are
+        rejected instead of stored — a poisoned cache entry would corrupt
+        every later energy point that hits it.
+        """
+        sigma = getattr(value, "sigma", None)
+        if sigma is not None and not np.all(np.isfinite(sigma)):
+            self.reject("nonfinite")
+            return
         evicted = 0
         with self._lock:
             self._data[key] = value
@@ -135,6 +151,17 @@ class SelfEnergyCache:
             metrics = get_metrics()
             if metrics.enabled:
                 metrics.inc("selfenergy_cache.evictions", float(evicted))
+
+    def reject(self, reason: str = "") -> None:
+        """Refuse to cache a value (degraded solve / non-finite entries)."""
+        with self._lock:
+            self.rejected += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc(
+                "selfenergy_cache.rejected", 1.0,
+                reason=reason or "unspecified",
+            )
 
     def invalidate(self, reason: str = "") -> int:
         """Drop every entry (potential/Hamiltonian changed); return count."""
@@ -161,6 +188,7 @@ class SelfEnergyCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "rejected": self.rejected,
         }
 
     # pickling: locks don't cross process boundaries
@@ -192,6 +220,18 @@ class ExecutionBackend:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = int(workers)
+        # elastic-execution counters (deadline-based straggler handling)
+        self.stragglers = 0
+        self.speculative_wins = 0
+        self.pool_restarts = 0
+
+    def elastic_stats(self) -> dict:
+        """Straggler / speculative-execution counter snapshot."""
+        return {
+            "stragglers": self.stragglers,
+            "speculative_wins": self.speculative_wins,
+            "pool_restarts": self.pool_restarts,
+        }
 
     def map(self, fn, items) -> list:
         raise NotImplementedError
@@ -244,19 +284,65 @@ def shutdown_pools() -> None:
 atexit.register(shutdown_pools)
 
 
+def _resolve_deadline(deadline_s) -> float | None:
+    """Per-chunk deadline in seconds, or None when elasticity is off.
+
+    ``None`` falls back to ``$REPRO_DEADLINE_S`` (empty/unset = off);
+    a non-positive value also disables the deadline.
+    """
+    if deadline_s is None:
+        raw = os.environ.get("REPRO_DEADLINE_S") or ""
+        if not raw:
+            return None
+        deadline_s = float(raw)
+    deadline_s = float(deadline_s)
+    return deadline_s if deadline_s > 0 else None
+
+
 class ThreadBackend(ExecutionBackend):
-    """ThreadPoolExecutor backend (numpy releases the GIL in BLAS)."""
+    """ThreadPoolExecutor backend (numpy releases the GIL in BLAS).
+
+    With a ``deadline_s``, a chunk that has not returned by its deadline
+    is counted a straggler and *speculatively re-executed in the caller*;
+    whichever copy finishes is used (the caller's copy wins here — the
+    stuck thread keeps running but its result is discarded).  The clean
+    path (no deadline, or every chunk on time) is untouched and therefore
+    bit-identical to the historical backend.
+    """
 
     name = "thread"
 
-    def __init__(self, workers: int = 2):
+    def __init__(self, workers: int = 2, deadline_s: float | None = None):
         super().__init__(workers)
+        self.deadline_s = deadline_s
 
     def map(self, fn, items) -> list:
         if len(items) <= 1:
             return [fn(item) for item in items]
+        deadline = _resolve_deadline(self.deadline_s)
         pool = _shared_pool("thread", self.workers)
-        return list(pool.map(fn, items))
+        if deadline is None:
+            return list(pool.map(fn, items))
+        futures = [pool.submit(fn, item) for item in items]
+        results = []
+        metrics = get_metrics()
+        for i, fut in enumerate(futures):
+            try:
+                results.append(fut.result(timeout=deadline))
+            except FuturesTimeoutError:
+                # straggler: recompute speculatively in the caller rather
+                # than stalling the whole chunk list behind one hung task
+                self.stragglers += 1
+                if metrics.enabled:
+                    metrics.inc("backend.stragglers", 1.0, backend=self.name)
+                fut.cancel()
+                results.append(fn(items[i]))
+                self.speculative_wins += 1
+                if metrics.enabled:
+                    metrics.inc(
+                        "backend.speculative_wins", 1.0, backend=self.name
+                    )
+        return results
 
 
 class ProcessBackend(ExecutionBackend):
@@ -265,18 +351,80 @@ class ProcessBackend(ExecutionBackend):
     ``fn`` and every item must be picklable; child-side tracer/metrics
     updates stay in the children (the parent re-charges analytic flops
     from the returned results instead).
+
+    With a ``deadline_s``, a chunk overdue past its deadline triggers an
+    *orderly pool restart*: the shared pool is unregistered, cancelled and
+    its worker processes terminated (a hung child cannot be cancelled any
+    other way), already-finished results are salvaged, and everything
+    outstanding is recomputed in the parent.  Clean path is untouched.
     """
 
     name = "process"
 
-    def __init__(self, workers: int = 2):
+    def __init__(self, workers: int = 2, deadline_s: float | None = None):
         super().__init__(workers)
+        self.deadline_s = deadline_s
+
+    def _restart_pool(self) -> None:
+        """Tear down the shared pool, terminating hung children."""
+        key = ("process", self.workers)
+        with _POOLS_LOCK:
+            pool = _POOLS.pop(key, None)
+        if pool is None:
+            return
+        procs = list(getattr(pool, "_processes", {}).values() or [])
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        self.pool_restarts += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("backend.pool_restarts", 1.0, backend=self.name)
 
     def map(self, fn, items) -> list:
         if len(items) <= 1:
             return [fn(item) for item in items]
+        deadline = _resolve_deadline(self.deadline_s)
         pool = _shared_pool("process", self.workers)
-        return list(pool.map(fn, items))
+        if deadline is None:
+            return list(pool.map(fn, items))
+        futures = [pool.submit(fn, item) for item in items]
+        results: list = [None] * len(items)
+        pending = list(range(len(items)))
+        metrics = get_metrics()
+        restarted = False
+        for i in list(pending):
+            if restarted:
+                break
+            try:
+                results[i] = futures[i].result(timeout=deadline)
+                pending.remove(i)
+            except FuturesTimeoutError:
+                self.stragglers += 1
+                if metrics.enabled:
+                    metrics.inc("backend.stragglers", 1.0, backend=self.name)
+                self._restart_pool()
+                restarted = True
+        if restarted:
+            # salvage whatever already finished, recompute the rest here
+            for i in list(pending):
+                fut = futures[i]
+                if fut.done() and not fut.cancelled():
+                    try:
+                        results[i] = fut.result(timeout=0)
+                        pending.remove(i)
+                        continue
+                    except (BrokenProcessPool, CancelledError):
+                        pass
+                results[i] = fn(items[i])
+                pending.remove(i)
+                self.speculative_wins += 1
+                if metrics.enabled:
+                    metrics.inc(
+                        "backend.speculative_wins", 1.0, backend=self.name
+                    )
+        return results
 
 
 _BACKENDS = {

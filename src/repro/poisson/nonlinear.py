@@ -22,6 +22,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..errors import NumericalBreakdownError
+from ..resilience.health import get_sentinel
 from .grid import PoissonGrid
 from .operators import Q_OVER_EPS0_V_NM, apply_dirichlet, assemble_laplacian
 
@@ -108,16 +110,43 @@ class NonlinearPoisson:
         else:
             phi[self.mask] = np.asarray(self.dirichlet_values)[self.mask]
 
+        sentinel = get_sentinel()
         history: list[float] = []
         converged = False
         res_norm = np.inf
+        best_norm = np.inf
         for it in range(1, max_iter + 1):
             F = self.residual(phi, charge_model)
+            if sentinel.enabled and not np.all(np.isfinite(F)):
+                # a non-finite RHS (poisoned charge model or potential)
+                # must NOT degrade to a finite-but-stale phi: the SCF
+                # loop would read a zero residual as spurious convergence.
+                # Strict mode raises inside trip(); contain mode records
+                # the trip and raises the same typed error so the bias
+                # point is quarantined one level up.
+                sentinel.trip(
+                    "poisson", "nonfinite",
+                    detail=f"Newton residual at iteration {it}",
+                )
+                raise NumericalBreakdownError(
+                    f"non-finite Poisson residual at Newton iteration {it}"
+                )
             res_norm = float(np.abs(F).max())
             history.append(res_norm)
             if res_norm < tol:
                 converged = True
                 break
+            if sentinel.enabled and it > 3 and res_norm > 1e6 * max(
+                best_norm, 1e-300
+            ):
+                # runaway divergence: the residual grew six decades past
+                # its best — every further step is wasted garbage
+                sentinel.trip(
+                    "poisson", "diverging", value=res_norm,
+                    detail=f"best residual {best_norm:.3e}",
+                )
+                break
+            best_norm = min(best_norm, res_norm)
             dn = charge_model.d_density_d_phi(phi)
             J = self.L - sp.diags(Q_OVER_EPS0_V_NM * dn)
             J_bc, rhs_bc = apply_dirichlet(J, -F, self.mask, 0.0)

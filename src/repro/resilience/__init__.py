@@ -14,11 +14,17 @@ the reproduction's equivalent machinery:
   (:func:`robust_surface_gf`), and the :class:`SCFRescue` ladder;
 * atomic :class:`SweepCheckpoint` / :class:`RampCheckpoint` for
   kill-and-resume sweeps;
-* a :class:`ResilienceReport` ledger attached to every resilient run.
+* a :class:`ResilienceReport` ledger attached to every resilient run;
+* numerical-health sentinels (:mod:`repro.resilience.health`) and the
+  graceful-degradation ladder with its :class:`DegradationReport` and
+  :class:`DegradationBudget` (:mod:`repro.resilience.degrade`);
+* a chaos-campaign harness (:mod:`repro.resilience.chaos`, imported
+  lazily by ``repro chaos`` to keep this package free of core imports).
 """
 
 from ..errors import (
     ConvergenceError,
+    DegradationBudgetError,
     NumericalBreakdownError,
     RankFailure,
     ReproError,
@@ -27,7 +33,21 @@ from ..errors import (
     TaskFailure,
 )
 from .checkpoint import RampCheckpoint, SweepCheckpoint, atomic_write_bytes
+from .degrade import (
+    DegradationBudget,
+    DegradationReport,
+    corrupt_hamiltonian,
+    dense_oracle_solve,
+)
 from .faults import FaultInjector, InjectedFault, nan_like, non_finite
+from .health import (
+    HealthEvent,
+    HealthSentinel,
+    condition_estimate,
+    get_sentinel,
+    set_sentinel,
+    use_sentinel,
+)
 from .policies import RetryPolicy, SCFRescue, robust_surface_gf
 from .report import ResilienceReport
 
@@ -37,6 +57,7 @@ __all__ = [
     "SurfaceGFConvergenceError",
     "SCFConvergenceError",
     "NumericalBreakdownError",
+    "DegradationBudgetError",
     "TaskFailure",
     "RankFailure",
     "FaultInjector",
@@ -50,4 +71,14 @@ __all__ = [
     "SweepCheckpoint",
     "RampCheckpoint",
     "atomic_write_bytes",
+    "HealthEvent",
+    "HealthSentinel",
+    "condition_estimate",
+    "get_sentinel",
+    "set_sentinel",
+    "use_sentinel",
+    "DegradationReport",
+    "DegradationBudget",
+    "corrupt_hamiltonian",
+    "dense_oracle_solve",
 ]

@@ -1,0 +1,298 @@
+"""Graceful-degradation ladders and their accounting.
+
+When a :class:`~repro.resilience.health.HealthSentinel` trips (or a solve
+throws) inside a production sweep, throwing the whole bias point away is
+the *worst* answer — OMEN-class runs burn node-hours per point.  Instead
+the transport layer steps down a ladder of increasingly conservative
+solves and, as a last resort, quarantines the offending energy node and
+reweights the quadrature:
+
+1. **retry per-point** with a freshly assembled Hamiltonian and the
+   ``robust`` surface-GF ladder (heals transient corruption and
+   band-edge decimation stalls);
+2. **dense oracle** — full dense inversion via
+   :func:`repro.negf.dense_ref.dense_green_function` (orders of magnitude
+   slower, numerically bulletproof);
+3. **quarantine** — drop the energy node, rebuild the trapezoid weights
+   on the surviving nodes, and account the gap.
+
+Step 3 is bounded by a :class:`DegradationBudget`: a sweep that loses
+more than the configured fraction of its quadrature is *wrong*, not
+degraded, and fails with :class:`~repro.errors.DegradationBudgetError`.
+
+Everything that happened is collected in a :class:`DegradationReport`
+(mirroring :class:`~repro.resilience.report.ResilienceReport` for thrown
+faults) which rides along ``TransportResult → SCFResult → IVCurve`` and
+surfaces in ``repro doctor`` and the CLI result JSON.
+
+NEGF imports stay inside function bodies — this module is imported by the
+solver layer and must not create import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DegradationBudgetError
+
+__all__ = [
+    "DegradationReport",
+    "DegradationBudget",
+    "LADDER_EXCEPTIONS",
+    "dense_oracle_solve",
+    "corrupt_hamiltonian",
+]
+
+#: What the degradation ladder is allowed to absorb (in ``contain`` mode).
+#: ``RuntimeError`` covers every typed :class:`~repro.errors.ReproError`
+#: plus SuperLU's "factor is exactly singular"; ``ValueError`` covers
+#: scipy's finite-entry input checks; ``ArithmeticError`` covers overflow
+#: under ``np.errstate``.  :class:`DegradationBudgetError` is re-raised
+#: explicitly by every handler — exceeding the budget must fail the sweep.
+LADDER_EXCEPTIONS = (
+    RuntimeError,
+    ValueError,
+    ArithmeticError,
+    np.linalg.LinAlgError,
+)
+
+
+@dataclass
+class DegradationReport:
+    """Account of every self-healing action taken during a solve.
+
+    Attributes
+    ----------
+    sentinel_trips : dict
+        ``"site:kind" -> count`` of health-sentinel trips observed in the
+        reporting window (see ``set_trips`` for the no-double-count
+        contract).
+    ladder_steps : dict
+        ``rung -> count`` of degradation-ladder steps taken
+        (``"per-point:robust"``, ``"dense-oracle"``,
+        ``"chunk:per-point"``, ``"quadrature:reweight"``).
+    quarantined_points : list of (k_index, energy)
+        Energy nodes dropped from the quadrature.
+    reweighted_grids : int
+        Per-k grids whose trapezoid weights were rebuilt after quarantine.
+    stragglers, speculative_wins, pool_restarts : int
+        Elastic-execution events from the Thread/Process backends.
+    """
+
+    sentinel_trips: dict = field(default_factory=dict)
+    ladder_steps: dict = field(default_factory=dict)
+    quarantined_points: list = field(default_factory=list)
+    reweighted_grids: int = 0
+    stragglers: int = 0
+    speculative_wins: int = 0
+    pool_restarts: int = 0
+
+    # -- recording -----------------------------------------------------
+
+    def record_trip(self, key: str, n: int = 1) -> None:
+        self.sentinel_trips[key] = self.sentinel_trips.get(key, 0) + int(n)
+
+    def set_trips(self, counts: dict) -> None:
+        """Replace the trip counts with an authoritative window total.
+
+        Nested consumers (transport → SCF → I-V sweep) each observe a
+        sentinel window that *contains* their children's windows, so a
+        plain ``merge`` would double count.  Instead every level
+        overwrites the merged counts with its own window total — exact
+        because the windows nest.
+        """
+        if counts:
+            self.sentinel_trips = dict(counts)
+
+    def record_ladder(self, rung: str, n: int = 1) -> None:
+        self.ladder_steps[rung] = self.ladder_steps.get(rung, 0) + int(n)
+
+    def quarantine(self, k_index: int, energy: float) -> None:
+        self.quarantined_points.append((int(k_index), float(energy)))
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def total_events(self) -> int:
+        return (
+            sum(self.sentinel_trips.values())
+            + sum(self.ladder_steps.values())
+            + len(self.quarantined_points)
+            + self.reweighted_grids
+            + self.stragglers
+            + self.speculative_wins
+            + self.pool_restarts
+        )
+
+    def merge(self, other: "DegradationReport") -> None:
+        """Fold another report into this one (counts add)."""
+        for key, n in other.sentinel_trips.items():
+            self.record_trip(key, n)
+        for rung, n in other.ladder_steps.items():
+            self.record_ladder(rung, n)
+        self.quarantined_points.extend(other.quarantined_points)
+        self.reweighted_grids += other.reweighted_grids
+        self.stragglers += other.stragglers
+        self.speculative_wins += other.speculative_wins
+        self.pool_restarts += other.pool_restarts
+
+    def to_dict(self) -> dict:
+        return {
+            "sentinel_trips": dict(self.sentinel_trips),
+            "ladder_steps": dict(self.ladder_steps),
+            "quarantined_points": [
+                [int(ik), float(e)] for ik, e in self.quarantined_points
+            ],
+            "reweighted_grids": self.reweighted_grids,
+            "stragglers": self.stragglers,
+            "speculative_wins": self.speculative_wins,
+            "pool_restarts": self.pool_restarts,
+            "total_events": self.total_events,
+        }
+
+    def summary(self) -> str:
+        if self.total_events == 0:
+            return "degradation: clean (no sentinel trips, no ladder steps)"
+        lines = [f"degradation: {self.total_events} events"]
+        if self.sentinel_trips:
+            body = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.sentinel_trips.items())
+            )
+            lines.append(f"  sentinel trips : {body}")
+        if self.ladder_steps:
+            body = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.ladder_steps.items())
+            )
+            lines.append(f"  ladder steps   : {body}")
+        if self.quarantined_points:
+            lines.append(
+                f"  quarantined    : {len(self.quarantined_points)} energy "
+                f"point(s), {self.reweighted_grids} grid(s) reweighted"
+            )
+        if self.stragglers or self.speculative_wins or self.pool_restarts:
+            lines.append(
+                f"  elastic exec   : {self.stragglers} straggler(s), "
+                f"{self.speculative_wins} speculative win(s), "
+                f"{self.pool_restarts} pool restart(s)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class DegradationBudget:
+    """Bound on how much quadrature a sweep may lose before it is wrong.
+
+    Attributes
+    ----------
+    max_quarantined_fraction : float
+        Largest tolerable fraction of energy nodes dropped from any
+        single per-k grid.
+    max_quarantined_points : int or None
+        Optional absolute cap per grid.
+    min_surviving_points : int
+        A grid needs at least this many nodes for the trapezoid rule to
+        mean anything.
+    """
+
+    max_quarantined_fraction: float = 0.25
+    max_quarantined_points: int | None = None
+    min_surviving_points: int = 2
+
+    def check(self, n_quarantined: int, n_total: int, context: str = "") -> None:
+        """Raise :class:`DegradationBudgetError` when the loss exceeds budget."""
+        if n_quarantined <= 0:
+            return
+        where = f" ({context})" if context else ""
+        if n_total - n_quarantined < self.min_surviving_points:
+            raise DegradationBudgetError(
+                f"degradation budget exceeded{where}: only "
+                f"{n_total - n_quarantined} of {n_total} energy nodes "
+                f"survived quarantine (need >= {self.min_surviving_points})"
+            )
+        if (
+            self.max_quarantined_points is not None
+            and n_quarantined > self.max_quarantined_points
+        ):
+            raise DegradationBudgetError(
+                f"degradation budget exceeded{where}: {n_quarantined} energy "
+                f"nodes quarantined (cap {self.max_quarantined_points})"
+            )
+        fraction = n_quarantined / max(n_total, 1)
+        if fraction > self.max_quarantined_fraction:
+            raise DegradationBudgetError(
+                f"degradation budget exceeded{where}: {fraction:.1%} of the "
+                f"quadrature quarantined "
+                f"(budget {self.max_quarantined_fraction:.1%})"
+            )
+
+
+def dense_oracle_solve(H, energy: float, eta: float = 1e-6):
+    """Last-rung reference solve of one energy by full dense inversion.
+
+    Returns an :class:`repro.negf.rgf.RGFResult` — the field set both the
+    WF and RGF assembly paths consume — computed from the dense retarded
+    Green's function with ``robust``-ladder contact self-energies.
+    O((N m)^3): acceptable only because the ladder reaches this rung for
+    a handful of poisoned points per sweep.
+    """
+    from ..negf.dense_ref import dense_green_function
+    from ..negf.rgf import RGFResult
+    from ..negf.self_energy import contact_self_energy
+
+    energy = float(energy)
+    sig_l = contact_self_energy(
+        energy, H.diagonal[0], H.upper[0], side="left",
+        method="robust", eta=eta,
+    )
+    sig_r = contact_self_energy(
+        energy, H.diagonal[-1], H.upper[-1], side="right",
+        method="robust", eta=eta,
+    )
+    G = dense_green_function(H, energy, sig_l.sigma, sig_r.sigma)
+    n = H.total_size
+    offsets = H.block_offsets()
+    gam_l = np.zeros((n, n), dtype=complex)
+    gam_r = np.zeros((n, n), dtype=complex)
+    ml = sig_l.gamma.shape[0]
+    mr = sig_r.gamma.shape[0]
+    gam_l[:ml, :ml] = sig_l.gamma
+    gam_r[offsets[-2]:offsets[-2] + mr, offsets[-2]:offsets[-2] + mr] = (
+        sig_r.gamma
+    )
+    t = float(np.trace(gam_l @ G @ gam_r @ G.conj().T).real)
+    A_L = G @ gam_l @ G.conj().T
+    A_R = G @ gam_r @ G.conj().T
+    return RGFResult(
+        energy=energy,
+        transmission=t,
+        dos=-np.diag(G).imag / np.pi,
+        spectral_left=np.diag(A_L).real / (2.0 * np.pi),
+        spectral_right=np.diag(A_R).real / (2.0 * np.pi),
+        n_channels_left=sig_l.n_open_channels(),
+        n_channels_right=sig_r.n_open_channels(),
+    )
+
+
+def corrupt_hamiltonian(H, mode: str):
+    """Numerical-fault injection: return a corrupted copy of ``H``.
+
+    ``mode="nan"`` poisons the middle diagonal block with NaN (the silent
+    breakdown every sentinel must catch); ``mode="illcond"`` adds a huge
+    rank-one Hermitian perturbation, driving the block-LU condition
+    estimate past any sane threshold while every entry stays finite.
+    """
+    from ..tb.hamiltonian import BlockTridiagonalHamiltonian
+
+    diag = [np.array(d, dtype=complex) for d in H.diagonal]
+    upper = [np.array(u, dtype=complex) for u in H.upper]
+    mid = len(diag) // 2
+    if mode == "nan":
+        diag[mid] = np.full_like(diag[mid], complex(float("nan"), 0.0))
+    elif mode == "illcond":
+        m = diag[mid].shape[0]
+        diag[mid] = diag[mid] + 1e14 * np.ones((m, m), dtype=complex)
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return BlockTridiagonalHamiltonian(diag, upper)

@@ -18,7 +18,10 @@ Actions
 -------
 ``"raise"``      raise :class:`repro.errors.TaskFailure`;
 ``"nan"``        tell the caller to corrupt the result with NaN;
+``"illcond"``    tell the caller to wreck its operator's conditioning;
 ``"stall"``      sleep ``stall_seconds`` (straggler), then proceed;
+``"hang"``       sleep ``hang_seconds`` (hung worker — long enough to
+                 blow any sane backend deadline), then proceed;
 ``"dead_rank"``  raise :class:`repro.errors.RankFailure`.
 """
 
@@ -35,7 +38,7 @@ from ..errors import RankFailure, TaskFailure
 
 __all__ = ["InjectedFault", "FaultInjector", "non_finite", "nan_like"]
 
-_ACTIONS = ("raise", "nan", "stall", "dead_rank")
+_ACTIONS = ("raise", "nan", "illcond", "stall", "hang", "dead_rank")
 
 
 @dataclass(frozen=True)
@@ -74,6 +77,9 @@ class FaultInjector:
         Transient faults: each (site, key) fires at most once (default).
     stall_seconds : float
         Duration of a ``"stall"`` fault.
+    hang_seconds : float
+        Duration of a ``"hang"`` fault (a hung worker; pick it longer
+        than the backend deadline under test).
     max_faults : int or None
         Global cap on fired faults (None = unlimited).
     """
@@ -87,6 +93,7 @@ class FaultInjector:
         plan: dict | None = None,
         once: bool = True,
         stall_seconds: float = 0.01,
+        hang_seconds: float = 30.0,
         max_faults: int | None = None,
     ):
         if not 0.0 <= rate <= 1.0:
@@ -104,6 +111,7 @@ class FaultInjector:
         self.plan = dict(plan or {})
         self.once = once
         self.stall_seconds = stall_seconds
+        self.hang_seconds = hang_seconds
         self.max_faults = max_faults
         self.injected: list[InjectedFault] = []
         self._fired: set = set()
@@ -124,11 +132,13 @@ class FaultInjector:
         return action
 
     def fire(self, site: str, key) -> str | None:
-        """Inject at (site, key): may raise, stall, or return ``"nan"``.
+        """Inject at (site, key): may raise, stall, or return a marker.
 
-        Returns ``"nan"`` when the caller should corrupt its result, None
-        for a clean pass.  ``"raise"`` and ``"dead_rank"`` raise
-        :class:`TaskFailure` / :class:`RankFailure` with ``injected=True``.
+        Returns ``"nan"`` / ``"illcond"`` when the caller should corrupt
+        its own result or operator, None for a clean pass.  ``"raise"``
+        and ``"dead_rank"`` raise :class:`TaskFailure` /
+        :class:`RankFailure` with ``injected=True``; ``"stall"`` and
+        ``"hang"`` sleep in place and then pass clean.
         """
         action = self.decide(site, key)
         if action is None:
@@ -149,7 +159,10 @@ class FaultInjector:
         if action == "stall":
             time.sleep(self.stall_seconds)
             return None
-        return "nan"
+        if action == "hang":
+            time.sleep(self.hang_seconds)
+            return None
+        return action
 
     # ------------------------------------------------------------------
     @property

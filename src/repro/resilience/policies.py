@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from ..errors import (
     ConvergenceError,
     NumericalBreakdownError,
@@ -167,7 +169,18 @@ def robust_surface_gf(
             continue
     if metrics.enabled:
         metrics.inc("surface_gf.eigen_fallbacks", 1.0)
-    g = eigen_surface_gf(energy, h00, h01, side=side, eta=max(eta, 1e-9))
+    try:
+        g = eigen_surface_gf(energy, h00, h01, side=side, eta=max(eta, 1e-9))
+    except (np.linalg.LinAlgError, ValueError) as exc:
+        # poisoned lead blocks break the generalized eigensolver too;
+        # surface the whole exhausted ladder as one typed error so the
+        # transport degradation ladder can quarantine the point
+        raise SurfaceGFConvergenceError(
+            f"surface-GF ladder exhausted (eigen fallback failed: {exc}) "
+            f"at E = {energy}, eta = {eta}",
+            energy=energy,
+            eta=eta,
+        ) from exc
     if report is not None:
         report.record_fallback("surface_gf:eigen")
     return g, "eigen"

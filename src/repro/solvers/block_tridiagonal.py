@@ -22,8 +22,31 @@ import numpy as np
 
 from ..observability.tracer import get_tracer
 from ..perf.flops import zgemm_flops, zinverse_flops
+from ..resilience.health import condition_estimate, get_sentinel
 
 __all__ = ["BatchedBlockTridiagLU", "BlockTridiagLU", "block_tridiag_matvec"]
+
+
+def _factor_health_check(site: str, diag, dinv_blocks) -> None:
+    """Health sentinel for a completed forward elimination.
+
+    The Schur-complement inverses are already in hand, so the 1-norm
+    condition estimate ``||A_ii||_1 * ||schur_i^-1||_1`` is essentially
+    free (``diag[i]`` stands in for the Schur complement itself, a
+    faithful proxy: an exploding ``dinv`` dominates the product either
+    way).  Trips ``nonfinite`` on NaN/Inf factors and ``ill_conditioned``
+    past the sentinel threshold; raises in strict mode.
+    """
+    sentinel = get_sentinel()
+    if not sentinel.enabled:
+        return
+    cond = 0.0
+    for d, dinv in zip(diag, dinv_blocks):
+        if not np.all(np.isfinite(dinv)):
+            sentinel.trip(site, "nonfinite", detail="non-finite LU factor block")
+            return
+        cond = max(cond, condition_estimate(d, dinv))
+    sentinel.check_condition(site, cond, detail="block-LU factor")
 
 
 def block_tridiag_matvec(diag, upper, lower, x_blocks):
@@ -97,6 +120,7 @@ class BlockTridiagLU:
                 self._dinv[i - 1] @ self._upper[i - 1]
             )
             self._dinv.append(np.linalg.inv(schur))
+        _factor_health_check("block_lu", diag, self._dinv)
         tracer = get_tracer()
         if tracer.enabled:
             # per block: 1 inversion; interior blocks add the two
@@ -297,6 +321,7 @@ class BatchedBlockTridiagLU:
                 self._dinv[i - 1] @ self._upper[i - 1]
             )
             self._dinv.append(np.linalg.inv(schur))
+        _factor_health_check("block_lu_batched", diag, self._dinv)
         tracer = get_tracer()
         if tracer.enabled and self._instrument:
             sizes = self.sizes

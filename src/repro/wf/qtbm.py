@@ -32,6 +32,7 @@ import numpy as np
 
 from ..observability.invariants import get_monitor
 from ..observability.tracer import get_tracer, trace_span
+from ..resilience.health import get_sentinel
 from ..solvers.banded import BandedLU, SparseLU
 from ..solvers.block_tridiagonal import BatchedBlockTridiagLU
 from ..tb.hamiltonian import BlockTridiagonalHamiltonian
@@ -272,6 +273,12 @@ class WFSolver:
             )
 
         n_open_r = sig_r.n_open_channels()
+        sentinel = get_sentinel()
+        if sentinel.enabled:
+            sentinel.check_finite(
+                "wf", transmission, spectral_l, spectral_r, currents,
+                detail=f"E={energy:.6g}",
+            )
         monitor = get_monitor()
         if monitor.enabled:
             monitor.check_gamma(gam_l, kernel="wf", side="left",

@@ -1,0 +1,499 @@
+"""Numerical-health sentinel, degradation-ladder and elastic-backend tests.
+
+The contracts under test:
+
+* sentinels are **pure observers** — a run that trips nothing is
+  bit-identical to a run with the sentinel off;
+* non-finite values seeded anywhere in the hot path (Hamiltonian blocks,
+  contact self-energies, Poisson right-hand sides) are either raised as
+  typed errors (strict) or contained, healed and accounted (contain) —
+  never silently propagated into observables;
+* degraded or non-finite self-energies are never cached;
+* a hung backend worker is detected by deadline and recovered by
+  speculative re-execution (threads) or an orderly pool restart
+  (processes).
+
+The property-based sections use hypothesis to sweep the *where* (which
+block, which index, which non-finite flavour) rather than pinning one
+hand-picked corruption site.
+"""
+
+import multiprocessing
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericalBreakdownError
+from repro.negf.rgf import RGFSolver
+from repro.parallel.backend import (
+    ProcessBackend,
+    SelfEnergyCache,
+    ThreadBackend,
+    _resolve_deadline,
+)
+from repro.poisson.nonlinear import NonlinearPoisson
+from repro.resilience import (
+    DegradationBudget,
+    DegradationReport,
+    FaultInjector,
+    HealthSentinel,
+    condition_estimate,
+    corrupt_hamiltonian,
+    get_sentinel,
+    nan_like,
+    non_finite,
+    use_sentinel,
+)
+from repro.resilience.chaos import run_campaign
+from repro.tb.hamiltonian import BlockTridiagonalHamiltonian
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+PROPERTY_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _chain_hamiltonian(n_blocks=8, t=1.0):
+    """Single-orbital tight-binding chain: the smallest honest device."""
+    diag = [np.array([[2.0 * t]], dtype=complex) for _ in range(n_blocks)]
+    upper = [np.array([[-t]], dtype=complex) for _ in range(n_blocks - 1)]
+    return BlockTridiagonalHamiltonian(diag, upper)
+
+
+class TestConditionEstimate:
+    def test_identity_is_one(self):
+        eye = np.eye(4)
+        assert condition_estimate(eye, eye) == pytest.approx(1.0)
+
+    def test_diagonal_matrix_exact(self):
+        a = np.diag([1.0, 1e-8])
+        assert condition_estimate(a, np.diag([1.0, 1e8])) == pytest.approx(1e8)
+
+    def test_batch_reports_worst(self):
+        good = np.eye(2)
+        bad = np.diag([1.0, 1e-10])
+        a = np.stack([good, bad])
+        a_inv = np.stack([good, np.diag([1.0, 1e10])])
+        assert condition_estimate(a, a_inv) == pytest.approx(1e10)
+
+    def test_nonfinite_factor_is_inf(self):
+        a = np.array([[np.nan, 0.0], [0.0, 1.0]])
+        assert condition_estimate(a, np.eye(2)) == float("inf")
+
+    def test_empty_is_zero(self):
+        assert condition_estimate(np.zeros((0, 2, 2)), np.zeros((0, 2, 2))) == 0.0
+
+
+class TestHealthSentinel:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            HealthSentinel(mode="panic")
+
+    def test_mode_flags(self):
+        assert not HealthSentinel(mode="off").enabled
+        assert HealthSentinel(mode="contain").enabled
+        assert not HealthSentinel(mode="contain").strict
+        assert HealthSentinel(mode="strict").strict
+
+    def test_contain_records_without_raising(self):
+        s = HealthSentinel(mode="contain")
+        assert not s.check_finite("kernel", np.array([1.0, np.nan]))
+        assert s.check_finite("kernel", np.arange(3.0))
+        assert s.n_trips == 1
+        assert s.trips_since(0) == {"kernel:nonfinite": 1}
+        [event] = s.events_since(0)
+        assert event.site == "kernel"
+        assert event.kind == "nonfinite"
+
+    def test_strict_raises_typed(self):
+        s = HealthSentinel(mode="strict")
+        with pytest.raises(NumericalBreakdownError):
+            s.check_finite("kernel", np.array([np.inf]))
+
+    def test_condition_and_residual_checks(self):
+        s = HealthSentinel(
+            mode="contain", cond_threshold=1e6, residual_threshold=1e-8
+        )
+        assert s.check_condition("lu", 10.0)
+        assert not s.check_condition("lu", 1e7)
+        assert not s.check_condition("lu", float("nan"))
+        assert s.check_residual("gf", 1e-12)
+        assert not s.check_residual("gf", 1e-3)
+        assert s.trips_since(0) == {
+            "lu:ill_conditioned": 1,
+            "lu:nonfinite": 1,
+            "gf:residual": 1,
+        }
+
+    def test_marker_windows_nest(self):
+        s = HealthSentinel(mode="contain")
+        s.trip("outer", "nonfinite")
+        inner = s.marker()
+        s.trip("inner", "nonfinite")
+        assert s.trips_since(inner) == {"inner:nonfinite": 1}
+        assert s.trips_since(0) == {
+            "outer:nonfinite": 1, "inner:nonfinite": 1,
+        }
+
+    def test_ledger_bounded_counts_unbounded(self):
+        s = HealthSentinel(mode="contain", max_events=4)
+        for _ in range(10):
+            s.trip("site", "nonfinite")
+        assert s.n_trips == 10
+        assert len(s.events_since(0)) == 4
+        # per-event details past the bound are dropped, counts keep going
+        assert s.trips_since(0) == {"site:nonfinite": 4}
+        s.reset()
+        assert s.n_trips == 0
+
+    def test_use_sentinel_restores_previous(self):
+        before = get_sentinel()
+        replacement = HealthSentinel(mode="strict")
+        with use_sentinel(replacement):
+            assert get_sentinel() is replacement
+        assert get_sentinel() is before
+
+    def test_summary_text(self):
+        s = HealthSentinel(mode="contain")
+        assert "no trips" in s.summary()
+        s.trip("lu", "ill_conditioned", value=1e13)
+        assert "lu:ill_conditioned=1" in s.summary()
+
+
+NONFINITE = st.sampled_from([np.nan, np.inf, -np.inf])
+
+
+class TestNonFinitePropagationProperties:
+    @PROPERTY_SETTINGS
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1, max_size=16,
+        ),
+        bad=st.one_of(st.none(), NONFINITE),
+        index=st.integers(min_value=0, max_value=15),
+    )
+    def test_check_finite_trips_iff_nonfinite_present(
+        self, values, bad, index
+    ):
+        arr = np.array(values, dtype=float)
+        if bad is not None:
+            arr[index % len(arr)] = bad
+        s = HealthSentinel(mode="contain")
+        ok = s.check_finite("prop", arr)
+        assert ok == (bad is None)
+        assert s.n_trips == (0 if bad is None else 1)
+
+    @PROPERTY_SETTINGS
+    @given(
+        payload=st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.one_of(
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.lists(
+                    st.floats(allow_nan=False, allow_infinity=False),
+                    max_size=4,
+                ),
+                st.text(max_size=4),
+            ),
+            min_size=1,
+        )
+    )
+    def test_nan_like_always_detected_by_non_finite(self, payload):
+        has_numeric = any(
+            isinstance(v, float)
+            or (isinstance(v, list) and len(v) > 0)
+            for v in payload.values()
+        )
+        poisoned = nan_like(payload)
+        assert non_finite(poisoned) == has_numeric
+        # non-numeric leaves survive corruption untouched
+        for key, value in payload.items():
+            if isinstance(value, str):
+                assert poisoned[key] == value
+
+    @PROPERTY_SETTINGS
+    @given(
+        block=st.integers(min_value=1, max_value=6),
+        bad=NONFINITE,
+    )
+    def test_nan_in_hamiltonian_block_strict_raises_typed(self, block, bad):
+        # seed a non-finite entry into an *interior* diagonal block (the
+        # lead blocks are owned by the surface-GF ladder, tested below)
+        H = _chain_hamiltonian(n_blocks=8)
+        H.diagonal[block][0, 0] = bad
+        solver = RGFSolver(H, eta=1e-6)
+        with use_sentinel(HealthSentinel(mode="strict")):
+            with pytest.raises(NumericalBreakdownError):
+                solver.solve(0.5)
+
+    @PROPERTY_SETTINGS
+    @given(block=st.integers(min_value=1, max_value=6), bad=NONFINITE)
+    def test_nan_in_hamiltonian_block_contain_trips(self, block, bad):
+        H = _chain_hamiltonian(n_blocks=8)
+        H.diagonal[block][0, 0] = bad
+        solver = RGFSolver(H, eta=1e-6)
+        sentinel = HealthSentinel(mode="contain")
+        with use_sentinel(sentinel):
+            res = solver.solve(0.5)
+        # contained: no exception, and the corruption is recorded.  A NaN
+        # must also poison the result (never a silently wrong number); an
+        # inf block inverts to ~0, so there only the trip is guaranteed.
+        assert sentinel.n_trips >= 1
+        if np.isnan(bad):
+            assert non_finite(res)
+
+    @PROPERTY_SETTINGS
+    @given(bad=NONFINITE)
+    def test_nonfinite_sigma_never_cached(self, bad):
+        class FakeSigma:
+            def __init__(self, value):
+                self.sigma = np.array([[value]], dtype=complex)
+
+        cache = SelfEnergyCache()
+        cache.store("key", FakeSigma(bad))
+        assert len(cache) == 0
+        assert cache.rejected == 1
+        assert cache.lookup("key") is None
+
+
+class _PoisonedCharge:
+    """Charge model returning a non-finite density (a poisoned rank)."""
+
+    def __init__(self, bad=np.nan):
+        self.bad = bad
+
+    def density(self, phi):
+        return np.full_like(phi, self.bad)
+
+    def d_density_d_phi(self, phi):
+        return np.zeros_like(phi)
+
+
+class TestPoissonRHSPoisoning:
+    @pytest.fixture(scope="class")
+    def poisson(self):
+        from repro.core import DeviceSpec, build_device
+
+        built = build_device(DeviceSpec(
+            n_x=8, n_y=2, n_z=2, spacing_nm=0.25, source_cells=2,
+            drain_cells=2, gate_cells=(3, 5), donor_density_nm3=0.05,
+            material_params={"m_rel": 0.3},
+        ))
+        return NonlinearPoisson(
+            built.poisson_grid, built.eps_r,
+            np.zeros(built.poisson_grid.n_nodes),
+        )
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    @pytest.mark.parametrize("mode", ["contain", "strict"])
+    def test_nonfinite_rhs_raises_typed_in_both_modes(
+        self, poisson, bad, mode
+    ):
+        sentinel = HealthSentinel(mode=mode)
+        with use_sentinel(sentinel):
+            with pytest.raises(NumericalBreakdownError):
+                poisson.solve(_PoisonedCharge(bad), max_iter=5)
+        assert sentinel.trips_since(0).get("poisson:nonfinite", 0) >= 1
+
+    def test_sentinel_off_preserves_legacy_behaviour(self, poisson):
+        # with the sentinel off the historical code path runs unchecked;
+        # it must at least not loop forever
+        with use_sentinel(HealthSentinel(mode="off")):
+            result = poisson.solve(_PoisonedCharge(), max_iter=3)
+        assert not result.converged
+
+
+class TestSelfEnergyCacheRejection:
+    LEAD_H00 = np.array([[0.0]])
+    LEAD_H01 = np.array([[1.0]])
+
+    def test_healthy_sancho_solve_is_cached(self):
+        from repro.negf.self_energy import contact_self_energy
+
+        cache = SelfEnergyCache()
+        contact_self_energy(
+            0.5, self.LEAD_H00, self.LEAD_H01, side="left",
+            method="robust", cache=cache,
+        )
+        assert len(cache) == 1
+        assert cache.rejected == 0
+
+    def test_degraded_solve_rejected_not_cached(self, monkeypatch):
+        """Regression: a surface GF healed by a fallback rung must never
+        poison the cache for later (clean) energy points."""
+        from repro.negf.self_energy import contact_self_energy
+        from repro.negf.surface_gf import eigen_surface_gf
+        from repro.resilience import policies
+
+        def degraded(energy, h00, h01, side="left", eta=1e-6, **kwargs):
+            return eigen_surface_gf(energy, h00, h01, eta=eta), "eigen"
+
+        monkeypatch.setattr(policies, "robust_surface_gf", degraded)
+        cache = SelfEnergyCache()
+        result = contact_self_energy(
+            0.5, self.LEAD_H00, self.LEAD_H01, side="left",
+            method="robust", cache=cache,
+        )
+        assert np.all(np.isfinite(result.sigma))  # the solve itself healed
+        assert len(cache) == 0
+        assert cache.rejected == 1
+        assert cache.stats["rejected"] == 1
+
+    def test_rejection_counter_reaches_metrics(self):
+        from repro.observability import MetricsRegistry, use_metrics
+
+        registry = MetricsRegistry()
+        cache = SelfEnergyCache()
+        with use_metrics(registry):
+            cache.reject("degraded-solve")
+        snap = registry.snapshot()
+        assert snap.total("selfenergy_cache.rejected") == 1.0
+
+
+# ----------------------------------------------------------------------
+# elastic backends: deadline, speculation, pool restart
+
+
+def _sleep_in_worker_thread(item):
+    """Sleeps only inside a pool worker thread — the caller-side
+    speculative re-execution must return immediately for recovery to
+    actually recover."""
+    if item == "hang" and threading.current_thread().name.startswith(
+        "repro-worker"
+    ):
+        time.sleep(2.0)
+    return f"done:{item}"
+
+
+def _sleep_in_child_process(item):
+    """Picklable; hangs only inside a pool child process."""
+    if item == "hang" and multiprocessing.parent_process() is not None:
+        time.sleep(30.0)
+    return f"done:{item}"
+
+
+class TestDeadlineResolution:
+    def test_explicit_value_wins(self):
+        assert _resolve_deadline(1.5) == 1.5
+
+    def test_nonpositive_disables(self):
+        assert _resolve_deadline(0.0) is None
+        assert _resolve_deadline(-1.0) is None
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEADLINE_S", "2.5")
+        assert _resolve_deadline(None) == 2.5
+        monkeypatch.setenv("REPRO_DEADLINE_S", "")
+        assert _resolve_deadline(None) is None
+        monkeypatch.delenv("REPRO_DEADLINE_S")
+        assert _resolve_deadline(None) is None
+
+
+class TestThreadBackendHangRecovery:
+    def test_hung_worker_speculatively_reexecuted(self):
+        backend = ThreadBackend(workers=2, deadline_s=0.25)
+        out = backend.map(_sleep_in_worker_thread, ["a", "hang", "b"])
+        assert out == ["done:a", "done:hang", "done:b"]
+        assert backend.stragglers >= 1
+        assert backend.speculative_wins >= 1
+        assert backend.elastic_stats()["stragglers"] == backend.stragglers
+
+    def test_clean_path_untouched_without_deadline(self):
+        backend = ThreadBackend(workers=2)
+        out = backend.map(_sleep_in_worker_thread, ["a", "b"])
+        assert out == ["done:a", "done:b"]
+        assert backend.stragglers == 0
+
+
+class TestProcessBackendHangRecovery:
+    def test_hung_child_triggers_pool_restart(self):
+        # warm the pool first so spawn latency doesn't eat the deadline
+        ProcessBackend(workers=2).map(_sleep_in_child_process, ["a", "b"])
+        backend = ProcessBackend(workers=2, deadline_s=2.0)
+        out = backend.map(_sleep_in_child_process, ["a", "hang", "b"])
+        assert out == ["done:a", "done:hang", "done:b"]
+        assert backend.stragglers >= 1
+        assert backend.pool_restarts >= 1
+        # the replacement pool is healthy again
+        again = ProcessBackend(workers=2).map(
+            _sleep_in_child_process, ["x", "y"]
+        )
+        assert again == ["done:x", "done:y"]
+
+
+# ----------------------------------------------------------------------
+# report plumbing + chaos smoke
+
+
+class TestDegradationAccounting:
+    def test_budget_validation(self):
+        budget = DegradationBudget(
+            max_quarantined_fraction=0.5, min_surviving_points=2
+        )
+        budget.check(0, 10)  # nothing lost: always fine
+        budget.check(3, 10)
+        from repro.errors import DegradationBudgetError
+
+        with pytest.raises(DegradationBudgetError):
+            budget.check(6, 10)  # fraction blown
+        with pytest.raises(DegradationBudgetError):
+            budget.check(9, 10)  # too few survivors
+        with pytest.raises(DegradationBudgetError):
+            DegradationBudget(max_quarantined_points=1).check(2, 100)
+
+    def test_report_merge_and_set_trips(self):
+        a = DegradationReport()
+        a.record_ladder("per-point:robust")
+        a.quarantine(0, 0.5)
+        b = DegradationReport()
+        b.record_ladder("per-point:robust", 2)
+        b.reweighted_grids = 1
+        a.merge(b)
+        assert a.ladder_steps == {"per-point:robust": 3}
+        assert a.reweighted_grids == 1
+        # set_trips overwrites (nested windows), merge adds
+        a.set_trips({"rgf:nonfinite": 4})
+        a.set_trips({})  # empty window keeps the previous authoritative count
+        assert a.sentinel_trips == {"rgf:nonfinite": 4}
+        assert a.total_events == 9
+        d = a.to_dict()
+        assert d["total_events"] == 9
+        assert "per-point:robust" in a.summary()
+
+    def test_corrupt_hamiltonian_modes(self):
+        H = _chain_hamiltonian(n_blocks=5)
+        bad = corrupt_hamiltonian(H, "nan")
+        assert np.isnan(bad.diagonal[2]).all()
+        ill = corrupt_hamiltonian(H, "illcond")
+        assert np.all(np.isfinite(ill.diagonal[2]))
+        assert np.abs(ill.diagonal[2]).max() >= 1e13
+        with pytest.raises(ValueError):
+            corrupt_hamiltonian(H, "gamma-ray")
+
+
+class TestChaosCampaignSmoke:
+    def test_stage_subset_runs_and_passes(self):
+        campaign = run_campaign(
+            backend="serial",
+            stages=["clean-bit-identity", "comm-faults", "poisson-nan"],
+        )
+        assert [s.name for s in campaign.stages] == [
+            "clean-bit-identity", "comm-faults", "poisson-nan",
+        ]
+        assert campaign.passed
+        doc = campaign.to_dict()
+        assert doc["backend"] == "serial"
+        assert doc["passed"] is True
+        assert "PASS" in campaign.summary()
+
+    def test_empty_campaign_is_not_a_pass(self):
+        campaign = run_campaign(backend="serial", stages=["no-such-stage"])
+        assert not campaign.passed

@@ -22,6 +22,7 @@ from repro.core import (
 )
 from repro.errors import (
     ConvergenceError,
+    DegradationBudgetError,
     NumericalBreakdownError,
     RankFailure,
     ReproError,
@@ -34,6 +35,8 @@ from repro.negf.surface_gf import eigen_surface_gf, sancho_rubio
 from repro.parallel import SerialComm, UnreliableComm, run_tasks
 from repro.perf.flops import FlopCounter
 from repro.resilience import (
+    DegradationBudget,
+    DegradationReport,
     FaultInjector,
     RampCheckpoint,
     ResilienceReport,
@@ -74,6 +77,17 @@ class TestErrorHierarchy:
         ):
             assert issubclass(cls, ReproError)
             assert issubclass(cls, RuntimeError)
+
+    def test_budget_error_is_not_a_breakdown(self):
+        # the quarantine-bypass contract: the I-V engine quarantines
+        # NumericalBreakdownError but must let a blown degradation budget
+        # fail the whole sweep — so the one must never be the other
+        assert issubclass(DegradationBudgetError, ReproError)
+        assert not issubclass(DegradationBudgetError, NumericalBreakdownError)
+        err = DegradationBudgetError("lost too much", n_quarantined=9,
+                                     n_total=10)
+        assert err.n_quarantined == 9
+        assert err.n_total == 10
 
     def test_sancho_raises_typed_error(self):
         with pytest.raises(SurfaceGFConvergenceError) as info:
@@ -667,3 +681,150 @@ class TestKillAndResume:
         state = ckpt.load()
         assert len(state["points"]) == 1
         assert state["points"][0]["v_gate"] == 0.0
+
+
+class TestDegradationLadder:
+    """The graceful step-down inside TransportCalculation._resilient_point."""
+
+    def test_transient_corruption_healed_bit_identically(self, system):
+        built, _ = system
+        pot = np.zeros(built.n_atoms)
+        clean = TransportCalculation(
+            built, method="rgf", n_energy=21
+        ).solve_bias(pot, 0.1)
+        # a transient (once=True) conditioning fault on the k=0 Hamiltonian:
+        # the per-point rung rebuilds a fresh H, so the healed solve is the
+        # clean solve — bit for bit
+        inj = FaultInjector(plan={("hblock", 0): "illcond"})
+        healed = TransportCalculation(
+            built, method="rgf", n_energy=21, injector=inj
+        ).solve_bias(pot, 0.1)
+        np.testing.assert_array_equal(
+            healed.transmission, clean.transmission
+        )
+        np.testing.assert_array_equal(
+            healed.density_per_atom, clean.density_per_atom
+        )
+        assert healed.current_a == clean.current_a
+        d = healed.degradation
+        assert d.ladder_steps.get("per-point:robust", 0) >= 1
+        assert not d.quarantined_points
+        assert inj.count("illcond") == 1
+
+    def test_persistent_fault_quarantined_and_reweighted(self, system):
+        built, _ = system
+        pot = np.zeros(built.n_atoms)
+        probe = TransportCalculation(built, method="wf", n_energy=21)
+        e_bad = float(probe.energy_grid(pot, 0.1).energies[4])
+        inj = FaultInjector(
+            plan={("energy", (0, e_bad)): "nan"}, once=False
+        )
+        tc = TransportCalculation(
+            built, method="wf", n_energy=21, injector=inj
+        )
+        res = tc.solve_bias(pot, 0.1)
+        assert np.isfinite(res.current_a)
+        assert np.all(np.isfinite(res.transmission))
+        d = res.degradation
+        assert d.quarantined_points == [(0, e_bad)]
+        assert d.reweighted_grids == 1
+        assert d.ladder_steps.get("dense-oracle", 0) >= 1
+        assert d.ladder_steps.get("quadrature:reweight", 0) == 1
+        # every rung re-fired the persistent fault before giving up
+        assert inj.count("nan") >= 3
+
+    def test_blown_budget_raises_typed(self, system):
+        built, _ = system
+        pot = np.zeros(built.n_atoms)
+        probe = TransportCalculation(built, method="wf", n_energy=21)
+        energies = probe.energy_grid(pot, 0.1).energies[4:6]
+        inj = FaultInjector(
+            plan={("energy", (0, float(e))): "nan" for e in energies},
+            once=False,
+        )
+        tc = TransportCalculation(
+            built, method="wf", n_energy=21, injector=inj,
+            degradation_budget=DegradationBudget(max_quarantined_points=1),
+        )
+        with pytest.raises(DegradationBudgetError):
+            tc.solve_bias(pot, 0.1)
+
+    def test_budget_error_fails_sweep_not_quarantined(self):
+        class BudgetBlownSolver:
+            beta = 0.6
+            mixing = "anderson"
+
+            def run(self, v_gate, v_drain, phi0=None,
+                    continuation_step=0.12):
+                raise DegradationBudgetError(
+                    "lost the quadrature", n_quarantined=9, n_total=10
+                )
+
+        sweep = IVSweep(
+            BudgetBlownSolver(), retry=RetryPolicy(max_retries=3)
+        )
+        with pytest.raises(DegradationBudgetError):
+            sweep.transfer_curve([0.0, 0.1], v_drain=0.05)
+
+
+class TestRankShrink:
+    def test_shrink_redistributes_over_survivors(self, system):
+        built, tc = system
+        pot = np.zeros(built.n_atoms)
+        dist = DistributedTransport(tc)
+        clean = dist.solve_bias(pot, 0.1, SerialComm(), n_ranks=4)
+        report = ResilienceReport()
+        inj = FaultInjector(plan={("rank", 1): "dead_rank"})
+        shrunk = dist.solve_bias(
+            pot, 0.1, SerialComm(), n_ranks=4,
+            injector=inj, report=report, rank_recovery="shrink",
+        )
+        # the dead rank's tasks are *split* over the survivors, so the
+        # reduction order changes: agreement is to rounding, not bitwise
+        # (the requeue mode keeps the bitwise contract)
+        np.testing.assert_allclose(
+            shrunk["density_per_atom"], clean["density_per_atom"],
+            rtol=1e-9, atol=0.0,
+        )
+        assert np.isclose(
+            shrunk["current_a"], clean["current_a"], rtol=1e-9
+        )
+        assert shrunk["n_tasks_total"] == clean["n_tasks_total"]
+        assert report.rank_failures == 1
+        assert report.requeued_tasks > 0
+        assert report.fallbacks.get("rank:shrink") == 1
+
+    def test_invalid_recovery_mode_rejected(self, system):
+        built, tc = system
+        dist = DistributedTransport(tc)
+        with pytest.raises(ValueError):
+            dist.solve_bias(
+                np.zeros(built.n_atoms), 0.1, SerialComm(), n_ranks=4,
+                rank_recovery="abandon-ship",
+            )
+
+
+class TestDegradationPlumbing:
+    def test_scf_degradation_merged_into_iv_curve(self):
+        solver = _FlakySolver(fail_attempts=0)
+        real_run = solver.run
+
+        def run(v_gate, v_drain, phi0=None, continuation_step=0.12):
+            res = real_run(v_gate, v_drain, phi0, continuation_step)
+            d = DegradationReport()
+            d.record_ladder("per-point:robust")
+            res.degradation = d
+            return res
+
+        solver.run = run
+        curve = IVSweep(solver).transfer_curve([0.0, 0.1], v_drain=0.05)
+        assert curve.degradation.ladder_steps == {"per-point:robust": 2}
+        assert curve.degradation.total_events == 2
+
+    def test_solvers_without_degradation_attr_still_work(self):
+        # _FlakySolver results carry no .degradation — the plumbing must
+        # treat that as an empty report, not crash
+        curve = IVSweep(_FlakySolver(fail_attempts=0)).transfer_curve(
+            [0.0], v_drain=0.05
+        )
+        assert curve.degradation.total_events == 0
