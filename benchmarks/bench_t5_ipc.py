@@ -1,0 +1,175 @@
+"""T5 — zero-copy plan dispatch: serialized bytes per task and wall time.
+
+The process backend historically pickled a full solver (Hamiltonian
+blocks included) into every chunk payload.  The zero-copy execution plan
+publishes that state once per (bias, k) into a shared-memory segment and
+ships only ``(plan_id, arena_id, slot_indices)`` per task.  This
+benchmark measures both sides of that trade:
+
+* **payload bytes** — the pickled size of one legacy chunk payload vs
+  one plan-id payload, on the real payload tuples the backends ship
+  (the acceptance bar is a >= 5x reduction);
+* **end-to-end wall time** — a process-backend bias solve with the
+  legacy path vs the plan path, bit-identical outputs asserted.
+
+``--smoke`` records both as the ``BENCH_ipc`` measured baseline.
+"""
+
+import pickle
+import time
+
+import numpy as np
+from conftest import print_experiment, record_baseline
+
+from repro.core import DeviceSpec, TransportCalculation, build_device
+from repro.parallel import ResultArena, active_plans, split_chunks
+from repro.parallel.plan import slot_width
+
+
+def _built(n_x=14):
+    spec = DeviceSpec(
+        name="bench-ipc",
+        n_x=n_x,
+        n_y=2,
+        n_z=2,
+        spacing_nm=0.25,
+        source_cells=4,
+        drain_cells=4,
+        gate_cells=(5, n_x - 5),
+        donor_density_nm3=0.05,
+        material_params={"m_rel": 0.3},
+    )
+    return build_device(spec)
+
+
+def _payload_report(built, n_energy=41, workers=4):
+    """Pickled bytes of the real chunk payloads, legacy vs plan path."""
+    # backend="process" so the published plan is segment-backed — the
+    # plan-id payload then carries real (fixed-length) segment names
+    tc = TransportCalculation(
+        built, method="rgf", n_energy=n_energy,
+        backend="process", workers=workers, zero_copy=True,
+    )
+    pot = np.zeros(built.n_atoms)
+    grid = tc.energy_grid(pot, 0.05)
+    k0 = float(built.momentum_grid.k_points[0])
+    H = tc.hamiltonian(pot, k0)
+    solver = tc._make_solver(H)
+    energies = [float(e) for e in grid.energies]
+    chunks = split_chunks(len(energies), workers)
+
+    legacy = [
+        (solver, [energies[i] for i in chunk], False, None, cid)
+        for cid, chunk in enumerate(chunks)
+    ]
+    legacy_bytes = [len(pickle.dumps(p)) for p in legacy]
+
+    plan = tc._publish_plan(H, grid, potential_fp="bench")
+    n_tot = int(H.block_sizes.sum())
+    arena = ResultArena.allocate(
+        len(energies), slot_width(n_tot, H.n_blocks)
+    )
+    try:
+        zero = [
+            (plan.plan_id, arena.arena_id, tuple(chunk), False, None, cid)
+            for cid, chunk in enumerate(chunks)
+        ]
+        zero_bytes = [len(pickle.dumps(p)) for p in zero]
+        plan_nbytes = int(plan.nbytes)
+        arena_nbytes = int(arena._plan.nbytes)
+    finally:
+        arena.release()
+        plan.release()
+    assert active_plans() == []
+
+    pickled = float(np.mean(legacy_bytes))
+    zero_copy = float(np.mean(zero_bytes))
+    return {
+        "n_energies": len(energies),
+        "n_chunks": len(chunks),
+        "n_blocks": int(H.n_blocks),
+        "n_orbitals": n_tot,
+        "payload.pickled_bytes": pickled,
+        "payload.zero_copy_bytes": zero_copy,
+        "payload.reduction": pickled / zero_copy,
+        "plan.segment_bytes": plan_nbytes,
+        "arena.segment_bytes": arena_nbytes,
+    }
+
+
+def _best_of(fn, repeats):
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _timing_report(built, n_energy=31, workers=2, repeats=3):
+    """Process-backend bias solve, legacy vs plan dispatch (bit-equal)."""
+    pot = np.zeros(built.n_atoms)
+    out = {}
+    results = {}
+    for label, zc in (("pickled", False), ("zero_copy", True)):
+        tc = TransportCalculation(
+            built, method="rgf", n_energy=n_energy,
+            backend="process", workers=workers, zero_copy=zc,
+        )
+        grid = tc.energy_grid(pot, 0.05)
+        tc.solve_bias(pot, 0.05, energy_grid=grid)  # warm the pool
+        best, res = _best_of(
+            lambda: tc.solve_bias(pot, 0.05, energy_grid=grid), repeats
+        )
+        out[f"solve.{label}_wall_time_s"] = best
+        results[label] = res
+    np.testing.assert_array_equal(
+        results["pickled"].transmission, results["zero_copy"].transmission
+    )
+    assert results["pickled"].current_a == results["zero_copy"].current_a
+    out["solve.speedup"] = (
+        out["solve.pickled_wall_time_s"] / out["solve.zero_copy_wall_time_s"]
+    )
+    return out
+
+
+def test_t5_payload_reduction():
+    """The plan payload must undercut the pickled payload by >= 5x."""
+    report = _payload_report(_built(n_x=12), n_energy=21, workers=2)
+    assert report["payload.reduction"] >= 5.0, report
+
+
+def _smoke():
+    built = _built()
+    report = _payload_report(built)
+    report.update(_timing_report(built, repeats=2))
+    assert report["payload.reduction"] >= 5.0, report
+    path = record_baseline("ipc", report)
+    print_experiment(
+        "T5/ipc",
+        f"task payload {report['payload.pickled_bytes'] / 1e3:.1f} kB "
+        f"pickled -> {report['payload.zero_copy_bytes']:.0f} B zero-copy "
+        f"({report['payload.reduction']:.0f}x smaller); "
+        f"solve {report['solve.pickled_wall_time_s'] * 1e3:.0f} ms -> "
+        f"{report['solve.zero_copy_wall_time_s'] * 1e3:.0f} ms "
+        f"({report['solve.speedup']:.2f}x)",
+        notes=f"baseline -> {path}",
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="measure payload reduction + solve timing and write "
+             "BENCH_ipc.json",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        _smoke()
+    else:
+        parser.error("run under pytest for the assertion-only check, "
+                     "or pass --smoke")

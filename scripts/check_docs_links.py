@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Check that internal links in the repo's markdown files resolve.
 
-Scans every ``*.md`` file in the repository root and ``docs/`` for inline
-markdown links ``[text](target)`` and verifies:
+Scans every ``*.md`` file in the repository root and the ``docs/`` tree
+(including the generated ``docs/api/`` reference) for inline markdown
+links ``[text](target)`` and verifies:
 
 * relative file targets exist (anchors are stripped first);
 * pure-anchor targets (``#section``) match a heading in the same file.
@@ -38,7 +39,7 @@ def markdown_files(root: Path) -> list[Path]:
     files = sorted(root.glob("*.md"))
     docs = root / "docs"
     if docs.is_dir():
-        files += sorted(docs.glob("*.md"))
+        files += sorted(docs.rglob("*.md"))
     return files
 
 

@@ -46,6 +46,7 @@ PRODUCERS = [
     ("benchmarks/bench_t3_kernels.py --smoke", "BENCH_kernels.json"),
     ("benchmarks/bench_f3_strong_scaling.py", "BENCH_f3_energy_level.json"),
     ("benchmarks/bench_f5_petaflops.py", "BENCH_f5_local.json"),
+    ("benchmarks/bench_t5_ipc.py --smoke", "BENCH_ipc.json"),
 ]
 
 #: Machine-dependent fields ignored by ``--check`` (warn-only in the gate).

@@ -119,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="share a contact self-energy cache across energy points "
                  "and SCF iterations (invalidated on potential updates)",
         )
+        p.add_argument(
+            "--zero-copy", action="store_true",
+            help="publish per-bias solve state once into shared memory "
+                 "so process-backend tasks ship only (plan_id, slots) "
+                 "instead of pickled solver state (default: "
+                 "$REPRO_ZERO_COPY; bit-identical on every backend)",
+        )
 
     p_sim = sub.add_parser("simulate", help="one self-consistent bias point")
     p_sim.add_argument("spec", help="device spec JSON file")
@@ -273,12 +280,17 @@ def _load_built(spec_path: str):
 
 def _backend_kwargs(args) -> dict:
     """TransportCalculation kwargs from the shared backend CLI flags."""
-    return {
+    kwargs = {
         "backend": getattr(args, "backend", None),
         "workers": getattr(args, "workers", None),
         "batch_energies": bool(getattr(args, "batch_energies", False)),
         "sigma_cache": True if getattr(args, "cache_sigma", False) else None,
     }
+    if getattr(args, "zero_copy", False):
+        # only an explicit flag overrides; otherwise the calculation
+        # falls back to $REPRO_ZERO_COPY
+        kwargs["zero_copy"] = True
+    return kwargs
 
 
 def _cmd_simulate(args) -> int:
@@ -598,6 +610,45 @@ def _cmd_doctor(args) -> int:
              warm["invalidations"], warm["size"]),
         ],
         title="self-energy cache probe (same bias solved twice)",
+    ))
+
+    # --- zero-copy ipc probe ------------------------------------------
+    # Re-solve the probe bias through the plan API with metrics on.
+    # Metrics force in-process dispatch, so the plan runs in local mode,
+    # but the ipc.* accounting — plan publishes, plan bytes, and the
+    # bytes a pickled task payload ships versus the plan-id payload —
+    # is recorded either way.
+    ipc_registry = MetricsRegistry()
+    # batch_energies forces the chunked dispatch path even on the serial
+    # backend — the per-point loop ships no payloads, so without it the
+    # task-bytes comparison would have nothing to measure
+    probe_zc = TransportCalculation(
+        built, method=args.method, n_energy=11,
+        backend="serial",
+        batch_energies=True, zero_copy=True,
+    )
+    with use_metrics(ipc_registry):
+        probe_zc.solve_bias(pot_probe, args.vd, energy_grid=probe_grid)
+    ipc = ipc_registry.snapshot()
+    ipc_flat = ipc.flat()
+    pickled_b = ipc_flat.get("ipc.task_bytes{path=pickled}.mean", 0.0)
+    zc_b = ipc_flat.get("ipc.task_bytes{path=zero_copy}.mean", 0.0)
+    reduction = (pickled_b / zc_b) if zc_b else 0.0
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("plans published", int(ipc.total("ipc.plans_published"))),
+            ("plan bytes (mean)", format_si(
+                ipc_flat.get("ipc.plan_bytes{kind=transport}.mean", 0.0),
+                "B")),
+            ("plan publish time (mean)", "%.3f ms" % (
+                ipc_flat.get("ipc.plan_publish_s{kind=transport}.mean", 0.0)
+                * 1e3)),
+            ("task payload, pickled path", format_si(pickled_b, "B")),
+            ("task payload, zero-copy path", format_si(zc_b, "B")),
+            ("bytes shipped per task", f"{reduction:.1f}x smaller"),
+        ],
+        title="zero-copy ipc probe (plan accounting of the probe bias)",
     ))
 
     # --- perf-regression gate against the committed baseline ----------

@@ -26,6 +26,7 @@ from ..observability.metrics import get_metrics
 from ..observability.tracer import get_tracer
 from ..parallel.backend import get_backend
 from ..parallel.comm import payload_nbytes
+from ..parallel.plan import DevicePlan, zero_copy_enabled
 from ..parallel.decomposition import Decomposition, choose_level_sizes
 from ..parallel.scheduler import split_chunks
 from ..physics.grids import EnergyGrid
@@ -73,10 +74,19 @@ class DistributedTransport:
         historical sequential loop.
     workers : int or None
         Worker count for the pooled backends.
+    zero_copy : bool or None
+        With the process backend, publish the per-bias rank context
+        (transport, decomposition, grids, potential) once as a
+        :class:`repro.parallel.DevicePlan` payload so each rank task
+        ships only ``(plan_id, rank)`` instead of a full pickled copy of
+        the driver.  Results are unchanged — the workers unpickle the
+        identical bytes the legacy payloads carried.  None reads
+        ``$REPRO_ZERO_COPY``.
     """
 
     def __init__(self, calculation: TransportCalculation,
-                 max_spatial: int = 1, backend=None, workers=None):
+                 max_spatial: int = 1, backend=None, workers=None,
+                 zero_copy=None):
         if max_spatial < 1:
             raise ValueError("max_spatial must be >= 1")
         self.calc = calculation
@@ -85,6 +95,7 @@ class DistributedTransport:
             None if backend is None and workers is None
             else get_backend(backend, workers)
         )
+        self.zero_copy = zero_copy_enabled(zero_copy)
 
     # ------------------------------------------------------------------
     def decomposition(self, n_ranks: int, v_drain: float,
@@ -376,11 +387,35 @@ class DistributedTransport:
             ):
                 # concurrent representatives: results are reduced in the
                 # same representative order as the sequential loop
-                payloads = [
-                    (self, r, decomp, grid, potential_ev, v_drain)
-                    for r in representatives
-                ]
-                partials = backend.map(_rank_partial_worker, payloads)
+                if self.zero_copy and backend.name == "process":
+                    # zero-copy rank dispatch: the whole rank context is
+                    # published once (pickled into one shared segment)
+                    # and each task ships only (plan_id, rank); workers
+                    # unpickle the identical bytes the per-rank payloads
+                    # would have carried, so results are unchanged
+                    import pickle as _pickle
+
+                    blob = _pickle.dumps(
+                        (self, decomp, grid, potential_ev, v_drain),
+                        protocol=_pickle.HIGHEST_PROTOCOL,
+                    )
+                    plan = DevicePlan.publish(
+                        {}, meta={"kind": "rank-context"},
+                        payload=blob, mode="shared",
+                    )
+                    try:
+                        partials = backend.map(
+                            _rank_plan_worker,
+                            [(plan.plan_id, r) for r in representatives],
+                        )
+                    finally:
+                        plan.release()
+                else:
+                    payloads = [
+                        (self, r, decomp, grid, potential_ev, v_drain)
+                        for r in representatives
+                    ]
+                    partials = backend.map(_rank_partial_worker, payloads)
                 current = sum(p.current_a for p in partials)
                 density = np.sum(
                     [p.density_per_atom for p in partials], axis=0
@@ -500,4 +535,18 @@ def _rank_partial_worker(payload):
     are picklable by construction).
     """
     transport, rank, decomp, grid, potential_ev, v_drain = payload
+    return transport.rank_partial(rank, decomp, grid, potential_ev, v_drain)
+
+
+def _rank_plan_worker(payload):
+    """Worker body for zero-copy rank dispatch.
+
+    The payload is only ``(plan_id, rank)``: the shared rank-context
+    plan is attached (cached per process) and its pickled payload —
+    ``(transport, decomposition, grid, potential, v_drain)`` — unpickled
+    once per worker instead of once per rank task.
+    """
+    plan_id, rank = payload
+    plan = DevicePlan.attach(plan_id)
+    transport, decomp, grid, potential_ev, v_drain = plan.payload_object()
     return transport.rank_partial(rank, decomp, grid, potential_ev, v_drain)

@@ -26,6 +26,14 @@ from ..negf.observables import carrier_density, landauer_current, orbital_to_ato
 from ..negf.rgf import RGFSolver
 from ..observability.tracer import trace_span
 from ..parallel.backend import SelfEnergyCache, get_backend
+from ..parallel.plan import (
+    DevicePlan,
+    ResultArena,
+    _solve_plan_chunk,
+    decode_result,
+    slot_width,
+    zero_copy_enabled,
+)
 from ..parallel.scheduler import split_chunks
 from ..perf.flops import (
     FlopCounter,
@@ -127,6 +135,16 @@ class TransportCalculation:
         ``"worker"`` fires inside backend workers.
     degradation_budget : DegradationBudget or None
         Bound on quarantined quadrature per k-grid (None = defaults).
+    zero_copy : bool or None
+        Publish each (bias, k) solve state once as a
+        :class:`repro.parallel.DevicePlan` so process-backend chunk
+        payloads carry only ``(plan_id, slot_indices)`` and results come
+        back through a shared :class:`repro.parallel.ResultArena` instead
+        of megabytes of pickled solver state.  Serial/thread backends use
+        the identical plan API over plain references, so every path stays
+        bit-identical to the legacy payloads.  None reads
+        ``$REPRO_ZERO_COPY`` (default off); the adaptive energy mode and
+        known-corrupted Hamiltonians fall back to the legacy path.
     """
 
     def __init__(
@@ -146,6 +164,7 @@ class TransportCalculation:
         sigma_cache=None,
         injector=None,
         degradation_budget=None,
+        zero_copy=None,
     ):
         if method not in ("wf", "rgf"):
             raise ValueError("method must be 'wf' or 'rgf'")
@@ -168,6 +187,7 @@ class TransportCalculation:
         self.sigma_cache = sigma_cache
         self.injector = injector
         self.degradation_budget = degradation_budget or DegradationBudget()
+        self.zero_copy = zero_copy_enabled(zero_copy)
         self._potential_fingerprint: bytes | None = None
 
     # ------------------------------------------------------------------
@@ -349,15 +369,8 @@ class TransportCalculation:
         degradation.quarantine(ik, e)
         return None
 
-    def _run_backend(self, solver, energies: list):
-        """Solve ``energies`` through the configured execution backend.
-
-        The grid is split into one contiguous chunk per worker (all in
-        one chunk for the serial backend) and each chunk is solved by
-        :func:`_solve_chunk` — per-point or as one stacked
-        ``solve_batch`` call — then reassembled in grid order.  Results
-        are identical to the per-point loop up to the documented batched
-        reduction tolerance (bitwise when ``batch_energies`` is off).
+    def _effective_backend(self):
+        """Backend actually used for chunk dispatch.
 
         A process pool cannot ship a child's tracer spans, metrics or
         invariant checks back to the parent, so while any of those is
@@ -365,8 +378,6 @@ class TransportCalculation:
         (measured flops, span trees, invariant counts) outranks the
         dispatch speedup whenever someone is measuring.
         """
-        if not energies:
-            return []
         backend = self.backend
         if backend.name == "process":
             from ..observability.invariants import get_monitor
@@ -381,8 +392,142 @@ class TransportCalculation:
                 from ..parallel.backend import SerialBackend
 
                 backend = SerialBackend()
+        return backend
+
+    def _publish_plan(self, H, grid, potential_fp: str) -> DevicePlan:
+        """Publish one (bias, k) solve state as a :class:`DevicePlan`.
+
+        Shared-memory mode engages exactly when the effective backend is
+        the process pool (the only dispatch that crosses an address
+        space); serial and thread runs publish the same plan over plain
+        references so lifecycle, fingerprints and ``ipc.*`` accounting
+        behave identically everywhere at zero copy cost.
+        """
+        mode = (
+            "shared" if self._effective_backend().name == "process"
+            else "local"
+        )
+        arrays = {
+            "energies": np.ascontiguousarray(grid.energies, dtype=float)
+        }
+        for i, block in enumerate(H.diagonal):
+            arrays[f"diag{i}"] = block
+        for i, block in enumerate(H.upper):
+            arrays[f"upper{i}"] = block
+        plan = DevicePlan.publish(
+            arrays,
+            meta={
+                "kind": "transport",
+                "method": self.method,
+                "eta": float(self.eta),
+                "surface_method": self.surface_method,
+                "n_blocks": int(H.n_blocks),
+                "n_tot": int(H.total_size),
+                "use_cache": self.sigma_cache is not None,
+                "potential_fp": potential_fp,
+            },
+            mode=mode,
+        )
+        if mode == "local":
+            # local plans hand workers the parent's own cache: the plan
+            # solver is then object-for-object what the legacy payload
+            # would have carried
+            plan._local_sigma_cache = self.sigma_cache
+        return plan
+
+    def _run_plan_chunks(self, plan, energies, chunks, backend, grid):
+        """Dispatch zero-copy chunk payloads and decode the result arena.
+
+        Payloads carry only the two segment names and the energy-slot
+        indices; workers attach the plan (cached per process), rebuild
+        the solver over the published block views and write fixed-width
+        result rows into the arena.  Undelivered slots decode to None and
+        are re-solved by the caller's degradation ladder.
+        """
+        meta = plan.meta
+        index_of = {float(e): i for i, e in enumerate(grid.energies)}
+        slots = [index_of[float(e)] for e in energies]
+        arena = ResultArena.allocate(
+            len(grid.energies),
+            slot_width(meta["n_tot"], meta["n_blocks"]),
+            mode="shared",
+        )
+        try:
+            payloads = [
+                (
+                    plan.plan_id,
+                    arena.arena_id,
+                    tuple(slots[i] for i in chunk),
+                    self.batch_energies,
+                    self.injector,
+                    chunk_id,
+                )
+                for chunk_id, chunk in enumerate(chunks)
+            ]
+            backend.map(_solve_plan_chunk, payloads)
+            return [decode_result(arena.rows[s], meta) for s in slots]
+        finally:
+            arena.release()
+
+    def _record_task_bytes(self, payloads, chunks, plan) -> None:
+        """Record ``ipc.task_bytes`` for the shipped and counterfactual
+        payloads (diagnostic runs only — metrics force in-process
+        dispatch, so pickling here never touches the hot path)."""
+        import pickle as _pickle
+
+        from ..observability.metrics import get_metrics
+
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        for chunk_id, payload in enumerate(payloads):
+            metrics.observe(
+                "ipc.task_bytes",
+                float(len(_pickle.dumps(payload))),
+                path="pickled",
+            )
+            if plan is not None:
+                # the zero-copy equivalent: two 14-char segment names +
+                # slot indices (what the process pool would have shipped)
+                zc = (
+                    plan.plan_id,
+                    "x" * 14,
+                    tuple(chunks[chunk_id]),
+                    self.batch_energies,
+                    self.injector,
+                    chunk_id,
+                )
+                metrics.observe(
+                    "ipc.task_bytes",
+                    float(len(_pickle.dumps(zc))),
+                    path="zero_copy",
+                )
+
+    def _run_backend(self, solver, energies: list, plan=None, grid=None):
+        """Solve ``energies`` through the configured execution backend.
+
+        The grid is split into one contiguous chunk per worker (all in
+        one chunk for the serial backend) and each chunk is solved by
+        :func:`_solve_chunk` — per-point or as one stacked
+        ``solve_batch`` call — then reassembled in grid order.  Results
+        are identical to the per-point loop up to the documented batched
+        reduction tolerance (bitwise when ``batch_energies`` is off).
+
+        With a shared-mode ``plan`` the chunks are dispatched by id
+        through :meth:`_run_plan_chunks` instead of pickling the solver
+        per chunk; a local-mode plan supplies its (reference-backed) plan
+        solver to the legacy payloads, so all three backends run the same
+        plan API.
+        """
+        if not energies:
+            return []
+        backend = self._effective_backend()
         n_chunks = 1 if backend.name == "serial" else backend.workers
         chunks = split_chunks(len(energies), n_chunks)
+        if plan is not None and plan.mode == "shared":
+            return self._run_plan_chunks(plan, energies, chunks, backend, grid)
+        if plan is not None:
+            solver = plan.solver()
         payloads = [
             (
                 solver,
@@ -393,6 +538,7 @@ class TransportCalculation:
             )
             for chunk_id, chunk in enumerate(chunks)
         ]
+        self._record_task_bytes(payloads, chunks, plan)
         out: list = []
         for chunk_results in backend.map(_solve_chunk, payloads):
             out.extend(chunk_results)
@@ -447,6 +593,14 @@ class TransportCalculation:
         n_e = len(grid)
         n_k = len(kgrid)
 
+        potential_fp = ""
+        if self.zero_copy:
+            import hashlib
+
+            potential_fp = hashlib.sha1(
+                np.ascontiguousarray(potential_ev).tobytes()
+            ).hexdigest()
+
         flops = FlopCounter()
         n_orb = built.material.orbitals_per_atom
         density = np.zeros(built.n_atoms)
@@ -454,6 +608,14 @@ class TransportCalculation:
         per_k_T: list[np.ndarray] = []
         per_k_channels: list[np.ndarray] = []
         currents = 0.0
+
+        # energy-site faults fire inside _resilient_point, i.e. in the
+        # parent's per-point degradation ladder — chunked dispatch would
+        # solve those points cleanly in workers and the configured fault
+        # would never be injected, so such solves take the per-point loop
+        energy_faults = (
+            self.injector is not None and self.injector.targets("energy")
+        )
 
         for ik, (k, wk) in enumerate(zip(kgrid.k_points, kgrid.weights)):
             H = self.hamiltonian(potential_ev, k)
@@ -464,6 +626,18 @@ class TransportCalculation:
                     H = corrupt_hamiltonian(H, mode)
                     h_suspect = True
             solver = self._make_solver(H)
+            plan = None
+            if (
+                self.zero_copy
+                and not h_suspect
+                and not energy_faults
+                and not (
+                    self.energy_mode == "adaptive" and energy_grid is None
+                )
+            ):
+                # publish this (bias, k) solve state once; every chunk of
+                # the energy sweep references it by id
+                plan = self._publish_plan(H, grid, potential_fp)
             cache: dict[float, object] = {}
 
             def sample(energy: float):
@@ -477,68 +651,78 @@ class TransportCalculation:
                         self._charge_flops(flops, H, res.n_channels_left)
                 return cache[e]
 
-            if self.energy_mode == "adaptive" and energy_grid is None:
-                from ..physics.fermi import fermi_dirac
-                from ..physics.grids import AdaptiveEnergyGrid
+            try:
+                if self.energy_mode == "adaptive" and energy_grid is None:
+                    from ..physics.fermi import fermi_dirac
+                    from ..physics.grids import AdaptiveEnergyGrid
 
-                def indicator(energy: float) -> float:
-                    res = sample(energy)
-                    if res is None:  # quarantined: no refinement signal
-                        return 0.0
-                    fl = float(fermi_dirac(energy, mu_s, kT))
-                    fr = float(fermi_dirac(energy, mu_d, kT))
-                    return float(
-                        res.spectral_left.sum() * fl
-                        + res.spectral_right.sum() * fr
+                    def indicator(energy: float) -> float:
+                        res = sample(energy)
+                        if res is None:  # quarantined: no refinement signal
+                            return 0.0
+                        fl = float(fermi_dirac(energy, mu_s, kT))
+                        fr = float(fermi_dirac(energy, mu_d, kT))
+                        return float(
+                            res.spectral_left.sum() * fl
+                            + res.spectral_right.sum() * fr
+                        )
+
+                    scale = max(built.n_atoms * 0.1, 1.0)
+                    refiner = AdaptiveEnergyGrid(
+                        float(grid.energies.min()),
+                        float(grid.energies.max()),
+                        n_initial=max(self.n_energy // 2, 9),
+                        tol=self.adaptive_tol * scale,
+                        max_points=self.max_energy_points,
                     )
-
-                scale = max(built.n_atoms * 0.1, 1.0)
-                refiner = AdaptiveEnergyGrid(
-                    float(grid.energies.min()),
-                    float(grid.energies.max()),
-                    n_initial=max(self.n_energy // 2, 9),
-                    tol=self.adaptive_tol * scale,
-                    max_points=self.max_energy_points,
-                )
-                k_grid_e = refiner.refine(indicator)
-            elif (
-                self.backend.name == "serial" and not self.batch_energies
-            ) or h_suspect:
-                # a known-corrupted H must go through the in-process
-                # per-point ladder: a process pool's sentinel trips stay
-                # in the children, where the parent cannot heal them
-                k_grid_e = grid
-                for energy in k_grid_e.energies:
-                    sample(energy)
-            else:
-                k_grid_e = grid
-                fresh = [
-                    float(e) for e in k_grid_e.energies
-                    if float(e) not in cache
-                ]
-                chunk_results = None
-                try:
-                    chunk_results = self._run_backend(solver, fresh)
-                except DegradationBudgetError:
-                    raise
-                except LADDER_EXCEPTIONS:
-                    if sentinel.strict or not sentinel.enabled:
+                    k_grid_e = refiner.refine(indicator)
+                elif (
+                    self.backend.name == "serial"
+                    and not self.batch_energies
+                ) or h_suspect or energy_faults:
+                    # a known-corrupted H — or an injector aimed at the
+                    # energy site — must go through the in-process
+                    # per-point ladder: a process pool's sentinel trips
+                    # stay in the children, where the parent cannot heal
+                    # them
+                    k_grid_e = grid
+                    for energy in k_grid_e.energies:
+                        sample(energy)
+                else:
+                    k_grid_e = grid
+                    fresh = [
+                        float(e) for e in k_grid_e.energies
+                        if float(e) not in cache
+                    ]
+                    chunk_results = None
+                    try:
+                        chunk_results = self._run_backend(
+                            solver, fresh, plan=plan, grid=k_grid_e
+                        )
+                    except DegradationBudgetError:
                         raise
-                    degradation.record_ladder("chunk:exception")
-                if chunk_results is not None:
-                    for energy, res in zip(fresh, chunk_results):
-                        if res is not None and not non_finite(res):
-                            cache[energy] = res
-                            self._charge_flops(
-                                flops, H, res.n_channels_left
-                            )
-                # anything the chunked path could not deliver cleanly is
-                # re-solved point-by-point down the degradation ladder
-                leftover = [e for e in fresh if e not in cache]
-                if leftover and sentinel.enabled and not sentinel.strict:
-                    degradation.record_ladder("chunk:per-point")
-                for energy in leftover:
-                    sample(energy)
+                    except LADDER_EXCEPTIONS:
+                        if sentinel.strict or not sentinel.enabled:
+                            raise
+                        degradation.record_ladder("chunk:exception")
+                    if chunk_results is not None:
+                        for energy, res in zip(fresh, chunk_results):
+                            if res is not None and not non_finite(res):
+                                cache[energy] = res
+                                self._charge_flops(
+                                    flops, H, res.n_channels_left
+                                )
+                    # anything the chunked path could not deliver cleanly
+                    # is re-solved point-by-point down the degradation
+                    # ladder
+                    leftover = [e for e in fresh if e not in cache]
+                    if leftover and sentinel.enabled and not sentinel.strict:
+                        degradation.record_ladder("chunk:per-point")
+                    for energy in leftover:
+                        sample(energy)
+            finally:
+                if plan is not None:
+                    plan.release()
 
             # quarantined nodes are dropped from this k-grid and the
             # trapezoid weights rebuilt on the survivors, within budget

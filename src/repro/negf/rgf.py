@@ -103,6 +103,11 @@ class RGFSolver:
         Optional shared self-energy cache.  None (default) keeps the
         historical always-recompute behaviour (and its measured flop
         profile) untouched.
+    lead_tokens : (str, str) or None
+        Precomputed (left, right) cache tokens — e.g. derived from a
+        :class:`repro.parallel.DevicePlan` fingerprint — so workers
+        rebuilt from published blocks skip re-hashing the lead bytes.
+        None hashes the lead blocks as usual.
     """
 
     def __init__(
@@ -113,6 +118,7 @@ class RGFSolver:
         eta: float = 1e-6,
         surface_method: str = "sancho",
         sigma_cache=None,
+        lead_tokens=None,
     ):
         if hamiltonian.n_blocks < 2:
             raise ValueError("transport needs at least 2 slabs")
@@ -132,10 +138,13 @@ class RGFSolver:
         self.sigma_cache = sigma_cache
         self._token_left = self._token_right = None
         if sigma_cache is not None:
-            from ..parallel.backend import lead_token
+            if lead_tokens is not None:
+                self._token_left, self._token_right = lead_tokens
+            else:
+                from ..parallel.backend import lead_token
 
-            self._token_left = lead_token(*self.lead_left)
-            self._token_right = lead_token(*self.lead_right)
+                self._token_left = lead_token(*self.lead_left)
+                self._token_right = lead_token(*self.lead_right)
 
     # ------------------------------------------------------------------
     def self_energies(self, energy: float) -> tuple[LeadSelfEnergy, LeadSelfEnergy]:

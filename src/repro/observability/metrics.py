@@ -19,6 +19,20 @@ All instruments accept ``**labels``; a labelled instrument is keyed
 ``name{k=v,...}`` with sorted label keys, the flattening used by the JSON
 export and the regression checker.
 
+Well-known namespaces (recorded by the rest of the stack, listed here so
+dashboards have one place to look):
+
+* ``ipc.*`` — zero-copy execution plans (:mod:`repro.parallel.plan`):
+  ``ipc.plans_published{mode,kind}`` / ``ipc.plans_unlinked`` /
+  ``ipc.plan_leaks`` (counters), ``ipc.plan_bytes{kind}`` /
+  ``ipc.plan_publish_s{kind}`` / ``ipc.plan_attach_s`` (histograms),
+  ``ipc.plan_attaches`` (counter), ``ipc.arena_bytes`` (histogram) and
+  ``ipc.arena_occupancy`` (gauge), plus
+  ``ipc.task_bytes{path=pickled|zero_copy}`` — the serialized payload a
+  task ships on the legacy pickle path versus the plan-id path;
+* ``cache.*``, ``scf.*``, ``comm.*``, ``kernel.*`` — self-energy cache,
+  convergence telemetry, per-level communication and kernel flops.
+
 Mirroring the tracer, the default active registry is a shared
 :class:`NullMetrics` whose ``enabled`` flag is False — instrumented call
 sites guard on that flag, so unmonitored runs pay one attribute load and

@@ -234,6 +234,14 @@ class ExecutionBackend:
         }
 
     def map(self, fn, items) -> list:
+        """Run ``fn`` over ``items``, returning results in input order.
+
+        Tasks must be independent: backends may execute them in any
+        order, on any worker, and (for the elastic pooled backends)
+        re-execute a task after a straggler timeout — ``fn`` therefore
+        has to be idempotent and its arguments picklable on the
+        process backend.
+        """
         raise NotImplementedError
 
     def __repr__(self):  # pragma: no cover - cosmetic
@@ -249,6 +257,7 @@ class SerialBackend(ExecutionBackend):
         super().__init__(1)
 
     def map(self, fn, items) -> list:
+        """Apply ``fn`` to each item in order, in this process."""
         return [fn(item) for item in items]
 
 
@@ -317,6 +326,13 @@ class ThreadBackend(ExecutionBackend):
         self.deadline_s = deadline_s
 
     def map(self, fn, items) -> list:
+        """Fan ``items`` out over the shared thread pool.
+
+        Single-item batches short-circuit to an in-process call.  With
+        a deadline configured, a task past it is abandoned (counted as
+        a straggler) and re-executed inline so the batch still returns
+        complete, in-order results.
+        """
         if len(items) <= 1:
             return [fn(item) for item in items]
         deadline = _resolve_deadline(self.deadline_s)
@@ -383,6 +399,15 @@ class ProcessBackend(ExecutionBackend):
             metrics.inc("backend.pool_restarts", 1.0, backend=self.name)
 
     def map(self, fn, items) -> list:
+        """Fan ``items`` out over the shared process pool.
+
+        Single-item batches short-circuit to an in-process call.  With
+        a deadline configured, a hung or crashed worker is detected at
+        the deadline, the pool is restarted (counted in
+        ``backend.pool_restarts``), and the unfinished tasks are
+        re-executed inline so the batch still returns complete,
+        in-order results.
+        """
         if len(items) <= 1:
             return [fn(item) for item in items]
         deadline = _resolve_deadline(self.deadline_s)

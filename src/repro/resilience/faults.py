@@ -117,6 +117,18 @@ class FaultInjector:
         self._fired: set = set()
 
     # ------------------------------------------------------------------
+    def targets(self, site: str) -> bool:
+        """Whether any configured fault can ever fire at ``site``.
+
+        Dispatch layers use this to route work to where the fault can
+        actually be observed — e.g. energy-site faults must run through
+        the parent's per-point degradation ladder, since a process
+        pool's children cannot ship ladder accounting back.
+        """
+        if any(s == site for s, _ in self.plan):
+            return True
+        return self.rate > 0.0 and (self.sites is None or site in self.sites)
+
     def decide(self, site: str, key) -> str | None:
         """The action to inject at (site, key), or None for a clean pass."""
         if self.max_faults is not None and len(self.injected) >= self.max_faults:
