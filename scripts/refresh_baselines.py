@@ -47,11 +47,16 @@ PRODUCERS = [
     ("benchmarks/bench_f3_strong_scaling.py", "BENCH_f3_energy_level.json"),
     ("benchmarks/bench_f5_petaflops.py", "BENCH_f5_local.json"),
     ("benchmarks/bench_t5_ipc.py --smoke", "BENCH_ipc.json"),
+    ("benchmarks/bench_t6_telemetry.py --smoke", "BENCH_telemetry.json"),
 ]
 
 #: Machine-dependent fields ignored by ``--check`` (warn-only in the gate).
+#: ``delta_bytes`` is here because worker metric snapshots embed
+#: timing-histogram buckets, whose keys (and thus pickled size) depend
+#: on the machine's measured latencies.
 TIMING_FIELDS = (
     "wall_time_s", "sustained_flops", "walltime", "seconds", "speedup",
+    "delta_bytes",
 )
 
 

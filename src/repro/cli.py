@@ -1,19 +1,22 @@
 """Command-line interface: device simulation from JSON specs.
 
-Seven subcommands mirror the workflows of the library:
+Eight subcommands mirror the workflows of the library:
 
 * ``simulate`` — one self-consistent bias point of a device spec;
 * ``sweep``    — a transfer (Id-Vg) sweep;
 * ``doctor``   — observability health check: a small monitored sweep with
   convergence tables, physics-invariant verdicts, the per-level
   communication matrix, the self-healing account and a perf-baseline
-  comparison;
+  comparison; with ``--events FILE`` it instead replays a JSONL event
+  stream offline and prints the same summary ``repro top`` renders;
 * ``chaos``    — the chaos-campaign harness: injected faults (NaN,
   ill-conditioning, hangs, dead ranks) at every parallel level against a
   mini device, verifying the degradation ladders heal them;
 * ``bands``    — bulk band-structure summary of a material;
 * ``scaling``  — the performance-model projection table;
-* ``trace``    — summarise a trace JSON produced by ``--trace``.
+* ``trace``    — summarise a trace JSON produced by ``--trace``;
+* ``top``      — render in-flight progress (bar, ETA, recent points,
+  degradations) from a ``--events`` JSONL stream, live with ``--follow``.
 
 ``simulate`` and ``sweep`` accept ``--trace FILE``: the run executes under
 an active :class:`repro.observability.Tracer`, writes a
@@ -22,6 +25,11 @@ sustained-Flop/s report and embeds it in the result JSON (``"perf"`` key).
 They also accept ``--metrics FILE``: the run executes under an active
 :class:`repro.observability.MetricsRegistry` and its snapshot (counters,
 gauges, histograms, convergence series) is written to FILE as JSON.
+And they accept ``--events FILE`` (default ``$REPRO_EVENTS``): the run
+appends typed JSONL progress events (``run_started``, ``point_done``,
+``heartbeat``, ``degradation``, ``straggler``, ``chunk_retired``,
+``run_finished``) that ``repro top FILE`` renders while the run is still
+in flight — the event file is the whole interface, no IPC needed.
 
 Everything reads/writes plain JSON so the CLI composes with shell
 pipelines; ``python -m repro <subcommand> --help`` for options.
@@ -89,6 +97,58 @@ def _finish_metrics(registry, metrics_path):
     return snap
 
 
+@contextmanager
+def _eventing(events_path, command, **context):
+    """Activate a JSONL telemetry event stream (no-op when path is falsy).
+
+    An empty/missing ``--events`` falls back to ``$REPRO_EVENTS``; the
+    writer is installed process-wide via
+    :func:`repro.observability.use_events`, so the sweep loop, the
+    backends and the transport layer all append to the same file.  The
+    writer's ``close`` emits a final ``run_finished`` if the run did not
+    emit one itself.
+    """
+    import os
+
+    if not events_path:
+        events_path = os.environ.get("REPRO_EVENTS") or ""
+    if not events_path:
+        yield None
+        return
+    from .observability import TelemetryWriter, use_events
+
+    ctx = {"command": command}
+    ctx.update({k: v for k, v in context.items() if v is not None})
+    writer = TelemetryWriter(events_path, context=ctx)
+    try:
+        with use_events(writer):
+            yield writer
+    finally:
+        writer.close()
+        print(f"events : {events_path}")
+
+
+def _events_replay(path) -> int:
+    """Offline replay of a JSONL event stream (doctor --events / top)."""
+    import time
+
+    from .observability import (
+        read_events,
+        render_event_summary,
+        summarize_events,
+        validate_events,
+    )
+
+    events = read_events(path)
+    problems = validate_events(events)
+    print(render_event_summary(summarize_events(events), now=time.time()))
+    if problems:
+        print("schema : " + "; ".join(problems))
+        return 1
+    print(f"schema : {len(events)} event(s) valid")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -145,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="monitor the run: write the metrics-registry snapshot "
              "(counters, convergence series, histograms) to FILE as JSON",
     )
+    p_sim.add_argument(
+        "--events", metavar="FILE",
+        help="stream typed JSONL progress events to FILE, renderable "
+             "in flight with 'repro top FILE' (default: $REPRO_EVENTS)",
+    )
 
     p_sweep = sub.add_parser("sweep", help="transfer (Id-Vg) sweep")
     p_sweep.add_argument("spec")
@@ -186,13 +251,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="monitor the run: write the metrics-registry snapshot "
              "(counters, convergence series, histograms) to FILE as JSON",
     )
+    p_sweep.add_argument(
+        "--events", metavar="FILE",
+        help="stream typed JSONL progress events to FILE, renderable "
+             "in flight with 'repro top FILE' (default: $REPRO_EVENTS)",
+    )
 
     p_doc = sub.add_parser(
         "doctor",
         help="observability health check: monitored sweep, invariant "
              "verdicts, per-level comm matrix, baseline comparison",
     )
-    p_doc.add_argument("spec", help="device spec JSON file")
+    p_doc.add_argument(
+        "spec", nargs="?", default=None,
+        help="device spec JSON file (not needed with --events)",
+    )
+    p_doc.add_argument(
+        "--events", metavar="FILE",
+        help="offline replay: read a JSONL event stream, print the same "
+             "summary 'repro top' renders plus a schema verdict, and exit",
+    )
     p_doc.add_argument("--vg-start", type=float, default=-0.2)
     p_doc.add_argument("--vg-stop", type=float, default=0.0)
     p_doc.add_argument("--vg-points", type=int, default=2)
@@ -264,6 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("file", help="Chrome-trace JSON file")
 
+    p_top = sub.add_parser(
+        "top",
+        help="render run progress (bar, ETA, recent points) from a "
+             "--events JSONL stream",
+    )
+    p_top.add_argument("file", help="telemetry events JSONL file")
+    p_top.add_argument(
+        "--follow", action="store_true",
+        help="keep re-rendering every --interval seconds until the run "
+             "emits run_finished",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period in seconds for --follow (default: 2)",
+    )
+
     p_scale = sub.add_parser("scaling", help="performance-model projection")
     p_scale.add_argument("--cores", type=int, nargs="+",
                          default=[1024, 16384, 221130])
@@ -304,8 +398,19 @@ def _cmd_simulate(args) -> int:
     )
     scf = SelfConsistentSolver(built, transport)
     with _tracing(args.trace, "simulate") as tracer, \
-            _metering(args.metrics) as registry:
+            _metering(args.metrics) as registry, \
+            _eventing(args.events, "simulate", spec=args.spec,
+                      backend=args.backend) as events:
+        if events is not None:
+            events.run_started(total=1, v_gate=args.vg, v_drain=args.vd)
         result = scf.run(args.vg, args.vd)
+        if events is not None:
+            events.point_done(
+                v_gate=args.vg,
+                v_drain=args.vd,
+                current_a=result.transport.current_a,
+                converged=result.converged,
+            )
     print(f"device : {built.spec.name} ({built.n_atoms} atoms, "
           f"{built.device.n_slabs} slabs)")
     print(f"bias   : V_G = {args.vg} V, V_D = {args.vd} V")
@@ -367,7 +472,11 @@ def _cmd_sweep(args) -> int:
     )
     vgs = np.linspace(args.vg_start, args.vg_stop, args.vg_points)
     with _tracing(args.trace, "sweep") as tracer, \
-            _metering(args.metrics) as registry:
+            _metering(args.metrics) as registry, \
+            _eventing(args.events, "sweep", spec=args.spec,
+                      backend=args.backend):
+        # the sweep loop itself emits run_started/point_done/run_finished
+        # through the installed writer (see IVSweep._sweep)
         curve = sweep.transfer_curve(vgs, v_drain=args.vd)
     rows = [
         (f"{p.v_gate:+.3f}", format_si(p.current_a, "A"),
@@ -475,6 +584,13 @@ def _cmd_doctor(args) -> int:
     )
     from .parallel import LEVEL_NAMES, CommTrace, TracedComm
 
+    if args.events:
+        # offline replay mode: no simulation, just the event-stream view
+        return _events_replay(args.events)
+    if not args.spec:
+        print("doctor: a device spec is required unless --events is given",
+              file=sys.stderr)
+        return 2
     built = _load_built(args.spec)
     transport = TransportCalculation(
         built, method=args.method, n_energy=args.n_energy,
@@ -613,8 +729,8 @@ def _cmd_doctor(args) -> int:
     ))
 
     # --- zero-copy ipc probe ------------------------------------------
-    # Re-solve the probe bias through the plan API with metrics on.
-    # Metrics force in-process dispatch, so the plan runs in local mode,
+    # Re-solve the probe bias through the plan API with metrics on.  The
+    # probe pins the serial backend, so the plan executes in local mode,
     # but the ipc.* accounting — plan publishes, plan bytes, and the
     # bytes a pickled task payload ships versus the plan-id payload —
     # is recorded either way.
@@ -762,6 +878,39 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    """Render run progress from a --events JSONL stream.
+
+    Reads only the event file — the run being watched can be in another
+    process, another container, or already finished.  With ``--follow``
+    it re-renders every ``--interval`` seconds until ``run_finished``
+    appears (or the file never materialises and the user interrupts).
+    """
+    import os
+    import time
+
+    from .observability import (
+        read_events,
+        render_event_summary,
+        summarize_events,
+    )
+
+    while True:
+        if not os.path.exists(args.file):
+            if not args.follow:
+                print(f"top: no such events file: {args.file}",
+                      file=sys.stderr)
+                return 2
+            time.sleep(args.interval)
+            continue
+        events = read_events(args.file)
+        summary = summarize_events(events)
+        print(render_event_summary(summary, now=time.time()))
+        if not args.follow or summary.get("finished"):
+            return 0
+        time.sleep(args.interval)
+
+
 def _cmd_scaling(args) -> int:
     from .io import format_si, format_table
     from .perf import JAGUAR_XT5, TransportWorkload, predict
@@ -797,6 +946,7 @@ def main(argv=None) -> int:
         "scaling": _cmd_scaling,
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,
+        "top": _cmd_top,
     }[args.command]
     return handler(args)
 

@@ -23,6 +23,7 @@ import numpy as np
 from ..errors import NumericalBreakdownError, RankFailure, TaskFailure
 from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
 from ..observability.metrics import get_metrics
+from ..observability.telemetry import capture_telemetry, merge_delta
 from ..observability.tracer import get_tracer
 from ..parallel.backend import get_backend
 from ..parallel.comm import payload_nbytes
@@ -363,21 +364,22 @@ class DistributedTransport:
             # group (spatial peers share tasks) and reduce locally
             representatives = list(range(0, decomp.n_ranks, spatial))
             backend = self.backend
+            capture = False
             if backend is not None and backend.name == "process":
-                # a process pool cannot ship a child's tracer spans,
-                # metrics or invariant checks back: stay in-process
-                # while any of those is live (same rule as
-                # TransportCalculation._run_backend)
+                # tracer spans and metrics recorded in pool children are
+                # captured per rank task and merged back with rank
+                # provenance (repro.observability.telemetry) — only a
+                # live InvariantMonitor still forces in-process execution
+                # (its ledger and strict-raise semantics are parent-side
+                # state; same rule as TransportCalculation)
                 from ..observability.invariants import get_monitor
-                from ..observability.metrics import get_metrics
-                from ..observability.tracer import get_tracer
 
-                if (
-                    get_tracer().enabled
-                    or get_metrics().enabled
-                    or get_monitor().enabled
-                ):
+                if get_monitor().enabled:
                     backend = None
+                else:
+                    capture = (
+                        get_tracer().enabled or get_metrics().enabled
+                    )
             if (
                 backend is not None
                 and backend.name != "serial"
@@ -406,16 +408,28 @@ class DistributedTransport:
                     try:
                         partials = backend.map(
                             _rank_plan_worker,
-                            [(plan.plan_id, r) for r in representatives],
+                            [
+                                (plan.plan_id, r, capture)
+                                for r in representatives
+                            ],
                         )
                     finally:
                         plan.release()
                 else:
                     payloads = [
-                        (self, r, decomp, grid, potential_ev, v_drain)
+                        (self, r, decomp, grid, potential_ev, v_drain,
+                         capture)
                         for r in representatives
                     ]
                     partials = backend.map(_rank_partial_worker, payloads)
+                if capture:
+                    unwrapped = []
+                    for p in partials:
+                        if isinstance(p, tuple):
+                            p, delta = p
+                            merge_delta(delta)
+                        unwrapped.append(p)
+                    partials = unwrapped
                 current = sum(p.current_a for p in partials)
                 density = np.sum(
                     [p.density_per_atom for p in partials], axis=0
@@ -527,26 +541,56 @@ class DistributedTransport:
         }
 
 
+def _captured_rank_partial(transport, rank, decomp, grid, potential_ev,
+                           v_drain, capture):
+    """Run one rank partial, optionally under telemetry capture.
+
+    With ``capture`` the return value is a ``(partial, delta)`` envelope
+    carrying the rank's tracer/metrics delta (worker label
+    ``"rank:<r>"``); the capture only engages inside a real worker
+    process, so parent-side fallback executions ship ``delta=None``.
+    """
+    if not capture:
+        return transport.rank_partial(
+            rank, decomp, grid, potential_ev, v_drain
+        )
+    with capture_telemetry(worker=f"rank:{rank}") as cap:
+        partial = transport.rank_partial(
+            rank, decomp, grid, potential_ev, v_drain
+        )
+    return partial, cap.delta
+
+
 def _rank_partial_worker(payload):
     """Worker body for backend-dispatched representative ranks.
 
     Module-level so ProcessPoolExecutor can pickle it; the payload
     carries the DistributedTransport itself (its calculation and device
-    are picklable by construction).
+    are picklable by construction).  An optional trailing ``capture``
+    flag (older 6-tuples keep working) wraps the rank in
+    :func:`~repro.observability.telemetry.capture_telemetry` and returns
+    a ``(partial, delta)`` envelope for the parent to merge.
     """
-    transport, rank, decomp, grid, potential_ev, v_drain = payload
-    return transport.rank_partial(rank, decomp, grid, potential_ev, v_drain)
+    transport, rank, decomp, grid, potential_ev, v_drain = payload[:6]
+    capture = bool(payload[6]) if len(payload) > 6 else False
+    return _captured_rank_partial(
+        transport, rank, decomp, grid, potential_ev, v_drain, capture
+    )
 
 
 def _rank_plan_worker(payload):
     """Worker body for zero-copy rank dispatch.
 
-    The payload is only ``(plan_id, rank)``: the shared rank-context
-    plan is attached (cached per process) and its pickled payload —
-    ``(transport, decomposition, grid, potential, v_drain)`` — unpickled
-    once per worker instead of once per rank task.
+    The payload is only ``(plan_id, rank[, capture])``: the shared
+    rank-context plan is attached (cached per process) and its pickled
+    payload — ``(transport, decomposition, grid, potential, v_drain)`` —
+    unpickled once per worker instead of once per rank task.  The
+    optional ``capture`` flag behaves as in :func:`_rank_partial_worker`.
     """
-    plan_id, rank = payload
+    plan_id, rank = payload[:2]
+    capture = bool(payload[2]) if len(payload) > 2 else False
     plan = DevicePlan.attach(plan_id)
     transport, decomp, grid, potential_ev, v_drain = plan.payload_object()
-    return transport.rank_partial(rank, decomp, grid, potential_ev, v_drain)
+    return _captured_rank_partial(
+        transport, rank, decomp, grid, potential_ev, v_drain, capture
+    )

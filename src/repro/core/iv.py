@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import NumericalBreakdownError, TaskFailure
 from ..observability import PerfReport, get_tracer
 from ..observability.metrics import MetricsSnapshot, get_metrics
+from ..observability.telemetry import get_events
 from ..perf.flops import FlopCounter
 from ..resilience import ResilienceReport, SCFRescue, SweepCheckpoint
 from ..resilience.degrade import DegradationReport
@@ -310,11 +311,23 @@ class IVSweep:
             else:
                 self.checkpoint.clear()
         tracer = get_tracer()
+        events = get_events()
+        if events.enabled:
+            events.run_started(total=len(bias_pairs), kind=meta.get("kind"))
         for v_gate, v_drain in bias_pairs:
             key = _bias_key(v_gate, v_drain)
             if key in completed:
-                curve.points.append(_point_from_dict(completed[key]))
+                resumed = _point_from_dict(completed[key])
+                curve.points.append(resumed)
                 report.resumed_points += 1
+                if events.enabled:
+                    events.point_done(
+                        v_gate=resumed.v_gate,
+                        v_drain=resumed.v_drain,
+                        current_a=resumed.current_a,
+                        converged=resumed.converged,
+                        resumed=True,
+                    )
                 continue
             with tracer.span(
                 "bias",
@@ -328,6 +341,23 @@ class IVSweep:
             curve.points.append(point)
             curve.flops.merge(flops)
             curve.degradation.merge(point_degradation)
+            if events.enabled:
+                events.point_done(
+                    v_gate=point.v_gate,
+                    v_drain=point.v_drain,
+                    current_a=point.current_a,
+                    converged=point.converged,
+                    resumed=False,
+                )
+                if point.recovery:
+                    events.emit(
+                        "degradation",
+                        stage="bias-point",
+                        detail="+".join(point.recovery),
+                        v_gate=point.v_gate,
+                        v_drain=point.v_drain,
+                        converged=point.converged,
+                    )
             if warm_start and phi_new is not None:
                 phi = phi_new
             if self.checkpoint is not None:
@@ -344,6 +374,12 @@ class IVSweep:
         # sweep window contains every bias-point window: overwrite the
         # merged per-point trip counts with the authoritative total
         curve.degradation.set_trips(sentinel.trips_since(marker0))
+        if events.enabled:
+            events.run_finished(
+                n_points=len(curve.points),
+                resumed_points=report.resumed_points,
+                unconverged=len(report.unconverged_points),
+            )
         return curve
 
     # ------------------------------------------------------------------

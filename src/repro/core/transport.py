@@ -24,6 +24,13 @@ import numpy as np
 from ..errors import DegradationBudgetError
 from ..negf.observables import carrier_density, landauer_current, orbital_to_atom
 from ..negf.rgf import RGFSolver
+from ..observability.telemetry import (
+    TelemetryDelta,
+    TelemetrySidecar,
+    capture_telemetry,
+    get_events,
+    merge_delta,
+)
 from ..observability.tracer import trace_span
 from ..parallel.backend import SelfEnergyCache, get_backend
 from ..parallel.plan import (
@@ -372,23 +379,21 @@ class TransportCalculation:
     def _effective_backend(self):
         """Backend actually used for chunk dispatch.
 
-        A process pool cannot ship a child's tracer spans, metrics or
-        invariant checks back to the parent, so while any of those is
-        live the chunks run in-process instead: observability exactness
-        (measured flops, span trees, invariant counts) outranks the
-        dispatch speedup whenever someone is measuring.
+        Tracer spans and metrics recorded inside process-pool children
+        are captured per chunk and merged back into the parent with
+        worker provenance (see :mod:`repro.observability.telemetry`), so
+        measuring no longer forfeits the dispatch speedup.  The one
+        remaining exception is a live :class:`InvariantMonitor`: its
+        violation ledger and strict-raise semantics are parent-side
+        object state that cannot be reconstructed from a child's
+        snapshot, so monitored runs still solve chunks in-process —
+        physics-invariant exactness outranks the speedup.
         """
         backend = self.backend
         if backend.name == "process":
             from ..observability.invariants import get_monitor
-            from ..observability.metrics import get_metrics
-            from ..observability.tracer import get_tracer
 
-            if (
-                get_tracer().enabled
-                or get_metrics().enabled
-                or get_monitor().enabled
-            ):
+            if get_monitor().enabled:
                 from ..parallel.backend import SerialBackend
 
                 backend = SerialBackend()
@@ -435,7 +440,8 @@ class TransportCalculation:
             plan._local_sigma_cache = self.sigma_cache
         return plan
 
-    def _run_plan_chunks(self, plan, energies, chunks, backend, grid):
+    def _run_plan_chunks(self, plan, energies, chunks, backend, grid,
+                         capture: bool = False):
         """Dispatch zero-copy chunk payloads and decode the result arena.
 
         Payloads carry only the two segment names and the energy-slot
@@ -443,6 +449,12 @@ class TransportCalculation:
         the solver over the published block views and write fixed-width
         result rows into the arena.  Undelivered slots decode to None and
         are re-solved by the caller's degradation ladder.
+
+        With ``capture`` a :class:`TelemetrySidecar` rides next to the
+        arena — one fixed-width row per chunk — and each worker's
+        tracer/metrics delta is read back and merged after the map; a
+        delta too large for its row falls back to the chunk's pool
+        return value (see :func:`_solve_plan_chunk`).
         """
         meta = plan.meta
         index_of = {float(e): i for i, e in enumerate(grid.energies)}
@@ -451,6 +463,10 @@ class TransportCalculation:
             len(grid.energies),
             slot_width(meta["n_tot"], meta["n_blocks"]),
             mode="shared",
+        )
+        sidecar = (
+            TelemetrySidecar.allocate(len(chunks), mode="shared")
+            if capture else None
         )
         try:
             payloads = [
@@ -461,18 +477,47 @@ class TransportCalculation:
                     self.batch_energies,
                     self.injector,
                     chunk_id,
+                    sidecar.sidecar_id if sidecar is not None else None,
                 )
                 for chunk_id, chunk in enumerate(chunks)
             ]
-            backend.map(_solve_plan_chunk, payloads)
+            returned = backend.map(_solve_plan_chunk, payloads)
+            events = get_events()
+            for chunk_id, ret in enumerate(returned):
+                if sidecar is not None:
+                    overflow = ret[1] if isinstance(ret, tuple) else None
+                    blob = sidecar.read(chunk_id)
+                    if blob is None:
+                        blob = overflow
+                    if blob is not None:
+                        from ..observability.metrics import get_metrics
+
+                        metrics = get_metrics()
+                        if metrics.enabled:
+                            metrics.observe(
+                                "telemetry.delta_bytes", float(len(blob)),
+                                path="sidecar" if overflow is None
+                                else "overflow",
+                            )
+                        merge_delta(TelemetryDelta.from_bytes(blob))
+                if events.enabled:
+                    events.emit(
+                        "chunk_retired", chunk=chunk_id,
+                        n_points=len(chunks[chunk_id]), path="zero_copy",
+                    )
             return [decode_result(arena.rows[s], meta) for s in slots]
         finally:
+            if sidecar is not None:
+                sidecar.release()
             arena.release()
 
     def _record_task_bytes(self, payloads, chunks, plan) -> None:
         """Record ``ipc.task_bytes`` for the shipped and counterfactual
-        payloads (diagnostic runs only — metrics force in-process
-        dispatch, so pickling here never touches the hot path)."""
+        payloads.  Runs only when metrics are live; on a process-backend
+        legacy-payload run the extra pickle is real measurement overhead
+        on the hot path — bounded by ``bench_t6_telemetry`` alongside the
+        merge-back cost (the zero-copy path never pays it: its payloads
+        are dispatched by :meth:`_run_plan_chunks`)."""
         import pickle as _pickle
 
         from ..observability.metrics import get_metrics
@@ -496,6 +541,7 @@ class TransportCalculation:
                     self.batch_energies,
                     self.injector,
                     chunk_id,
+                    None,
                 )
                 metrics.observe(
                     "ipc.task_bytes",
@@ -518,14 +564,29 @@ class TransportCalculation:
         per chunk; a local-mode plan supplies its (reference-backed) plan
         solver to the legacy payloads, so all three backends run the same
         plan API.
+
+        When a tracer or metrics registry is live and the chunks go to
+        the process pool, each chunk runs under
+        :func:`~repro.observability.telemetry.capture_telemetry` and its
+        delta is merged back here — the parent's counters and span tree
+        end up exactly what a serial run would have recorded, with
+        ``worker`` provenance on the absorbed spans.
         """
         if not energies:
             return []
         backend = self._effective_backend()
         n_chunks = 1 if backend.name == "serial" else backend.workers
         chunks = split_chunks(len(energies), n_chunks)
+        capture = False
+        if backend.name == "process":
+            from ..observability.metrics import get_metrics
+            from ..observability.tracer import get_tracer
+
+            capture = get_tracer().enabled or get_metrics().enabled
         if plan is not None and plan.mode == "shared":
-            return self._run_plan_chunks(plan, energies, chunks, backend, grid)
+            return self._run_plan_chunks(
+                plan, energies, chunks, backend, grid, capture=capture
+            )
         if plan is not None:
             solver = plan.solver()
         payloads = [
@@ -535,12 +596,34 @@ class TransportCalculation:
                 self.batch_energies,
                 self.injector,
                 chunk_id,
+                capture,
             )
             for chunk_id, chunk in enumerate(chunks)
         ]
         self._record_task_bytes(payloads, chunks, plan)
+        events = get_events()
         out: list = []
-        for chunk_results in backend.map(_solve_chunk, payloads):
+        for chunk_id, chunk_results in enumerate(
+            backend.map(_solve_chunk, payloads)
+        ):
+            if capture:
+                chunk_results, delta = chunk_results
+                if delta is not None:
+                    from ..observability.metrics import get_metrics
+
+                    metrics = get_metrics()
+                    if metrics.enabled:
+                        metrics.observe(
+                            "telemetry.delta_bytes",
+                            float(len(delta.to_bytes())),
+                            path="pickled",
+                        )
+                merge_delta(delta)
+            if events.enabled:
+                events.emit(
+                    "chunk_retired", chunk=chunk_id,
+                    n_points=len(chunk_results), path="pickled",
+                )
             out.extend(chunk_results)
         return out
 
@@ -618,6 +701,7 @@ class TransportCalculation:
         )
 
         for ik, (k, wk) in enumerate(zip(kgrid.k_points, kgrid.weights)):
+            get_events().maybe_heartbeat(stage=f"k-point {ik + 1}/{n_k}")
             H = self.hamiltonian(potential_ev, k)
             h_suspect = False
             if self.injector is not None:
@@ -688,6 +772,9 @@ class TransportCalculation:
                     k_grid_e = grid
                     for energy in k_grid_e.energies:
                         sample(energy)
+                        get_events().maybe_heartbeat(
+                            stage=f"k-point {ik + 1}/{n_k} per-point"
+                        )
                 else:
                     k_grid_e = grid
                     fresh = [
@@ -720,6 +807,9 @@ class TransportCalculation:
                         degradation.record_ladder("chunk:per-point")
                     for energy in leftover:
                         sample(energy)
+                        get_events().maybe_heartbeat(
+                            stage=f"k-point {ik + 1}/{n_k} leftover"
+                        )
             finally:
                 if plan is not None:
                     plan.release()
@@ -815,22 +905,8 @@ def _in_worker() -> bool:
     return threading.current_thread().name.startswith("repro-worker")
 
 
-def _solve_chunk(payload):
-    """Worker body for the execution backends: solve one energy chunk.
-
-    Module-level (not a closure) so ProcessPoolExecutor can pickle it;
-    the payload carries the (picklable) solver rather than the full
-    calculation object.  With the process backend the children's
-    tracer/metrics updates stay in the children — the parent re-charges
-    the analytic flop account from the returned results instead.
-
-    Payloads may carry two optional trailing fields (older 3-tuples keep
-    working): a :class:`repro.resilience.FaultInjector` whose ``"worker"``
-    site fires here, and the chunk id keying it.
-    """
-    solver, energies, batched = payload[:3]
-    injector = payload[3] if len(payload) > 3 else None
-    chunk_id = payload[4] if len(payload) > 4 else 0
+def _solve_chunk_body(solver, energies, batched, injector, chunk_id):
+    """Solve one energy chunk (shared by all payload variants)."""
     mode = None
     if injector is not None and _in_worker():
         mode = injector.fire("worker", chunk_id)
@@ -841,3 +917,45 @@ def _solve_chunk(payload):
     if mode == "nan":
         results = [nan_like(r) for r in results]
     return results
+
+
+def _solve_chunk(payload):
+    """Worker body for the execution backends: solve one energy chunk.
+
+    Module-level (not a closure) so ProcessPoolExecutor can pickle it;
+    the payload carries the (picklable) solver rather than the full
+    calculation object.
+
+    Payloads may carry three optional trailing fields (older 3-tuples
+    keep working): a :class:`repro.resilience.FaultInjector` whose
+    ``"worker"`` site fires here, the chunk id keying it, and the
+    telemetry ``capture`` flag.  With ``capture`` the chunk runs under
+    :func:`~repro.observability.telemetry.capture_telemetry` — the
+    instrumented kernels trace into a worker-local tracer/registry and
+    the return value becomes a ``(results, delta)`` envelope the parent
+    merges back (so child-side tracer/metrics updates are no longer
+    lost).  The capture only engages inside a real worker process; the
+    parent-side executions of the same payload (single-chunk shortcut,
+    speculative straggler recompute, pool-restart salvage) record into
+    the live instruments directly and ship ``delta=None``.
+    """
+    solver, energies, batched = payload[:3]
+    injector = payload[3] if len(payload) > 3 else None
+    chunk_id = payload[4] if len(payload) > 4 else 0
+    capture = bool(payload[5]) if len(payload) > 5 else False
+    if not capture:
+        return _solve_chunk_body(solver, energies, batched, injector, chunk_id)
+    with capture_telemetry() as cap:
+        if cap.engaged:
+            with trace_span(
+                "chunk", category="task",
+                chunk=chunk_id, n_energies=len(energies),
+            ):
+                results = _solve_chunk_body(
+                    solver, energies, batched, injector, chunk_id
+                )
+        else:
+            results = _solve_chunk_body(
+                solver, energies, batched, injector, chunk_id
+            )
+    return results, cap.delta

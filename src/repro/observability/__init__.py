@@ -30,6 +30,12 @@ This package is the measurement substrate of the reproduction:
 * :func:`compare_metrics` / :func:`check_against_baselines` — the
   perf-regression gate over ``benchmarks/baselines/BENCH_*.json`` with
   per-metric tolerance bands and pass/warn/fail verdicts.
+* :mod:`~repro.observability.telemetry` — cross-process telemetry:
+  :func:`capture_telemetry` / :func:`merge_delta` record worker-side
+  tracer/metrics activity and fold it back into the parent (exact
+  counters on every backend, unified whole-run Chrome traces), and
+  :class:`TelemetryWriter` streams typed JSONL progress events
+  (``--events FILE``) that ``repro top`` renders live.
 
 Typical use::
 
@@ -73,6 +79,23 @@ from .regression import (
     load_baselines,
 )
 from .report import PerfReport
+from .telemetry import (
+    EVENT_TYPES,
+    NULL_EVENTS,
+    NullEventWriter,
+    TelemetryDelta,
+    TelemetrySidecar,
+    TelemetryWriter,
+    capture_telemetry,
+    get_events,
+    merge_delta,
+    read_events,
+    render_event_summary,
+    set_events,
+    summarize_events,
+    use_events,
+    validate_events,
+)
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -129,6 +152,22 @@ __all__ = [
     "get_monitor",
     "set_monitor",
     "use_monitor",
+    # cross-process telemetry and live event stream
+    "TelemetryDelta",
+    "TelemetrySidecar",
+    "TelemetryWriter",
+    "NullEventWriter",
+    "NULL_EVENTS",
+    "EVENT_TYPES",
+    "capture_telemetry",
+    "merge_delta",
+    "get_events",
+    "set_events",
+    "use_events",
+    "read_events",
+    "validate_events",
+    "summarize_events",
+    "render_event_summary",
     # regression gate
     "ToleranceBand",
     "MetricVerdict",

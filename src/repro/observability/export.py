@@ -32,6 +32,17 @@ def chrome_trace(tracer) -> dict:
     event (``"ph": "X"``) carrying the span's own and cumulative flops.
     Open (unclosed) spans are not exported.
 
+    Lane assignment makes one unified Gantt chart of a whole run: spans
+    with a ``rank`` attribute land in ``pid == rank`` (the distributed
+    timeline), spans merged back from process-backend workers (a
+    ``worker`` attribute, see :mod:`repro.observability.telemetry`) each
+    get their own ``pid`` lane starting at 1000, and parent-side spans
+    stay in ``pid 0``.  Worker span timestamps were clock-offset aligned
+    at merge time (:meth:`Tracer.absorb`), so the lanes share one time
+    axis.  When worker lanes exist, ``process_name`` metadata events
+    (``"ph": "M"``) label them; traces without merged workers contain
+    only ``"X"`` events, exactly as before.
+
     Example
     -------
     >>> from repro.observability import Tracer
@@ -46,6 +57,7 @@ def chrome_trace(tracer) -> dict:
     """
     epoch = getattr(tracer, "epoch", 0.0)
     events = []
+    worker_lanes: dict = {}  # worker label -> pid (first-seen order)
     for span in tracer.spans:
         if span.t_end is None:  # pragma: no cover - open spans skipped
             continue
@@ -56,6 +68,16 @@ def chrome_trace(tracer) -> dict:
         }
         for key, value in span.attrs.items():
             args[str(key)] = value if _jsonable(value) else repr(value)
+        rank = span.attrs.get("rank")
+        worker = span.attrs.get("worker")
+        if rank is not None:
+            pid = int(rank)
+        elif worker is not None:
+            pid = worker_lanes.get(worker)
+            if pid is None:
+                pid = worker_lanes[worker] = 1000 + len(worker_lanes)
+        else:
+            pid = 0
         events.append(
             {
                 "name": span.name,
@@ -63,11 +85,31 @@ def chrome_trace(tracer) -> dict:
                 "ph": "X",
                 "ts": (span.t_start - epoch) * 1e6,
                 "dur": span.duration_s * 1e6,
-                "pid": int(span.attrs.get("rank", 0)),
+                "pid": pid,
                 "tid": span.thread,
                 "args": args,
             }
         )
+    if worker_lanes:
+        # Chrome's own convention for metadata records: ph "M" with
+        # cat "__metadata" at ts 0 (dur included so every event in the
+        # document carries the same key set)
+        def _process_name(pid, label):
+            return {
+                "name": "process_name",
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0.0,
+                "dur": 0.0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+
+        metadata = [_process_name(0, "parent")]
+        for worker, pid in worker_lanes.items():
+            metadata.append(_process_name(pid, f"worker {worker}"))
+        events = metadata + events
     report = PerfReport.from_tracer(tracer)
     return {
         "traceEvents": events,

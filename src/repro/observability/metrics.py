@@ -429,6 +429,41 @@ class MetricsRegistry:
                 [len(series) if step is None else int(step), value]
             )
 
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        """Fold a snapshot from another registry into this live one.
+
+        The merge half of cross-process telemetry (see
+        :mod:`repro.observability.telemetry`): counters add, gauges take
+        the snapshot's value, histograms merge bucket-wise and series
+        extend — the same semantics as :meth:`MetricsSnapshot.merge`,
+        applied in place so worker deltas accumulate into the parent's
+        active registry under their original keys.
+
+        Example
+        -------
+        >>> parent, worker = MetricsRegistry(), MetricsRegistry()
+        >>> parent.inc("tasks", 2); worker.inc("tasks", 3)
+        >>> parent.merge_snapshot(worker.snapshot())
+        >>> parent.snapshot().counter("tasks")
+        5.0
+        """
+        with self._lock:
+            for k, v in snap.counters.items():
+                self._counters[k] = self._counters.get(k, 0.0) + float(v)
+            self._gauges.update(snap.gauges)
+            for k, h in snap.histograms.items():
+                mine = self._histograms.get(k)
+                if mine is None:
+                    self._histograms[k] = LogLinearHistogram.from_dict(
+                        h.to_dict()
+                    )
+                else:
+                    mine.merge(h)
+            for k, v in snap.series.items():
+                self._series.setdefault(k, []).extend(
+                    [list(entry) for entry in v]
+                )
+
     # ------------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
         """Deep-enough copy of the current state (safe to keep/export)."""
@@ -482,6 +517,9 @@ class NullMetrics:
         return None
 
     def record(self, name, value, step=None, **labels):
+        return None
+
+    def merge_snapshot(self, snap):
         return None
 
     def snapshot(self) -> MetricsSnapshot:

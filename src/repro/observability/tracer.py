@@ -187,6 +187,9 @@ class Tracer:
 
         self._clock = clock
         self.epoch = clock()
+        # wall-clock reading paired with `epoch`: the cross-process anchor
+        # `absorb` uses to place worker spans on this tracer's timeline
+        self.epoch_wall = time.time()
         self._lock = threading.Lock()
         self._local = threading.local()
         self._thread_ids: dict[int, int] = {}
@@ -256,6 +259,63 @@ class Tracer:
         stack = self._stack()
         if stack:
             stack[-1].own_flops += flops
+
+    def absorb(self, worker, spans=(), flops=None, wall_epoch=None,
+               perf_epoch: float = 0.0) -> int:
+        """Fold closed spans recorded by another process into this tracer.
+
+        This is the merge half of cross-process telemetry (see
+        :mod:`repro.observability.telemetry`): a worker traces into its
+        own :class:`Tracer`, ships the closed spans as 9-tuples
+        ``(name, category, t_start, t_end, own_flops, total_flops,
+        depth, attrs, thread)`` plus its per-kernel flop ledger, and the
+        parent absorbs them here.
+
+        Timestamps are re-anchored onto this tracer's clock: the worker
+        pairs its ``perf_counter`` epoch (``perf_epoch``) with a
+        ``time.time()`` reading (``wall_epoch``), and so does this
+        tracer (``epoch`` / ``epoch_wall``), which pins the two
+        monotonic clocks to a common wall instant.  With
+        ``wall_epoch=None`` the wall term is skipped and the worker's
+        epoch is aligned to this tracer's epoch (deterministic tests).
+
+        Every absorbed span gets ``attrs["worker"] = worker`` provenance
+        (unless the span already carries one) and the flop ledger adds
+        into :attr:`counter`.  Returns the number of spans absorbed.
+
+        Example
+        -------
+        >>> parent = Tracer()
+        >>> n = parent.absorb(
+        ...     "pid:7", spans=[("rgf", "kernel", 1.0, 2.0, 8.0, 8.0,
+        ...                      0, {}, 0)],
+        ...     flops={"rgf": 8.0}, perf_epoch=1.0,
+        ... )
+        >>> n, parent.counter.counts["rgf"]
+        (1, 8.0)
+        >>> parent.spans[-1].attrs["worker"]
+        'pid:7'
+        """
+        offset = self.epoch - float(perf_epoch)
+        if wall_epoch is not None and self.epoch_wall is not None:
+            offset += float(wall_epoch) - self.epoch_wall
+        absorbed = []
+        for rec in spans:
+            name, category, t0, t1, own, total, depth, attrs, tid = rec
+            span = Span(
+                name, category, float(t0) + offset, int(depth),
+                dict(attrs), int(tid),
+            )
+            span.t_end = float(t1 if t1 is not None else t0) + offset
+            span.own_flops = float(own)
+            span.total_flops = float(total)
+            span.attrs.setdefault("worker", worker)
+            absorbed.append(span)
+        with self._lock:
+            self.spans.extend(absorbed)
+            for kernel, value in (flops or {}).items():
+                self.counter.add(kernel, float(value))
+        return len(absorbed)
 
     # ------------------------------------------------------------------
     def current_span(self) -> Span | None:
@@ -342,12 +402,17 @@ class NullTracer:
 
     enabled = False
     spans: tuple = ()
+    epoch_wall = None
 
     def span(self, name, category="phase", **attrs):
         return _NULL_HANDLE
 
     def add_flops(self, kernel, flops):
         return None
+
+    def absorb(self, worker, spans=(), flops=None, wall_epoch=None,
+               perf_epoch=0.0):
+        return 0
 
     def current_span(self):
         return None

@@ -18,8 +18,11 @@ of one rank is executed on the local machine.
 * ``thread`` — ``ThreadPoolExecutor``; numpy/LAPACK release the GIL, so
   threads overlap BLAS work without pickling anything;
 * ``process`` — ``ProcessPoolExecutor``; full interpreter parallelism,
-  requires picklable solvers (all of ours are) and forfeits in-parent
-  tracer/metrics updates from the children (documented caveat).
+  requires picklable solvers (all of ours are); child-side tracer and
+  metrics activity is captured per task and merged back into the parent
+  registries with worker provenance (the telemetry contract of
+  :mod:`repro.observability.telemetry`), so counters are exact on every
+  backend.
 
 Pools are created lazily and shared per ``(kind, workers)`` so repeated
 ``solve_bias`` calls (SCF iterations, IV sweeps, tests) do not leak
@@ -44,6 +47,7 @@ from concurrent.futures.process import BrokenProcessPool
 import numpy as np
 
 from ..observability.metrics import get_metrics
+from ..observability.telemetry import get_events
 
 __all__ = [
     "BACKEND_NAMES",
@@ -86,8 +90,8 @@ class SelfEnergyCache:
     runs agree bitwise.  Thread-safe (the thread backend shares one
     instance across workers); picklable (the lock is dropped and rebuilt
     so solvers holding a cache can cross a process boundary — each child
-    then starts from a snapshot copy, another reason process-backend
-    cache counters stay parent-local).
+    then starts from a snapshot copy, and its own hit/miss activity is
+    merged back into the parent metrics by the telemetry layer).
 
     Counters (``hits``/``misses``/``evictions``/``invalidations``) are
     mirrored into the MetricsRegistry under ``selfenergy_cache.*`` when
@@ -351,6 +355,12 @@ class ThreadBackend(ExecutionBackend):
                 self.stragglers += 1
                 if metrics.enabled:
                     metrics.inc("backend.stragglers", 1.0, backend=self.name)
+                events = get_events()
+                if events.enabled:
+                    events.emit(
+                        "straggler", backend=self.name, task=i,
+                        deadline_s=deadline, action="speculate_inline",
+                    )
                 fut.cancel()
                 results.append(fn(items[i]))
                 self.speculative_wins += 1
@@ -364,9 +374,13 @@ class ThreadBackend(ExecutionBackend):
 class ProcessBackend(ExecutionBackend):
     """ProcessPoolExecutor backend.
 
-    ``fn`` and every item must be picklable; child-side tracer/metrics
-    updates stay in the children (the parent re-charges analytic flops
-    from the returned results instead).
+    ``fn`` and every item must be picklable.  Child-side tracer/metrics
+    updates are captured per task (:func:`repro.observability.telemetry.
+    capture_telemetry`) and shipped back through the task return path —
+    either a shared-memory telemetry sidecar on the zero-copy path or
+    the pickled result envelope — then merged into the parent registries
+    (:func:`repro.observability.telemetry.merge_delta`), so ``flops.*``
+    and ``selfenergy_cache.*`` totals match the serial backend exactly.
 
     With a ``deadline_s``, a chunk overdue past its deadline triggers an
     *orderly pool restart*: the shared pool is unregistered, cancelled and
@@ -429,6 +443,12 @@ class ProcessBackend(ExecutionBackend):
                 self.stragglers += 1
                 if metrics.enabled:
                     metrics.inc("backend.stragglers", 1.0, backend=self.name)
+                events = get_events()
+                if events.enabled:
+                    events.emit(
+                        "straggler", backend=self.name, task=i,
+                        deadline_s=deadline, action="pool_restart",
+                    )
                 self._restart_pool()
                 restarted = True
         if restarted:

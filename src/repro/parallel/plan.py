@@ -33,7 +33,11 @@ and the parent still owns the name.
 Observability: publish/attach timings, segment sizes and per-task payload
 bytes are recorded under the ``ipc.*`` metric namespace (see
 ``docs/OBSERVABILITY.md``) whenever a :class:`~repro.observability.metrics.
-MetricsRegistry` is active.
+MetricsRegistry` is active.  When a tracer or registry is live, a
+:class:`~repro.observability.telemetry.TelemetrySidecar` — one more
+fixed-width shared segment — rides next to the :class:`ResultArena` so
+each worker's tracer/metrics delta returns through shared memory and the
+parent's merged totals stay exact on the zero-copy path too.
 """
 
 from __future__ import annotations
@@ -670,20 +674,9 @@ def decode_result(row: np.ndarray, meta: dict):
     )
 
 
-def _solve_plan_chunk(payload):
-    """Worker body for zero-copy plan chunks.
-
-    Module-level so ProcessPoolExecutor can pickle it.  The payload is
-    ``(plan_id, arena_id, slots, batched[, injector, chunk_id])`` — two
-    segment names, the energy-slot indices of this chunk, the batching
-    flag, and the optional chaos-campaign injector whose ``"worker"``
-    site fires here exactly as on the legacy chunk path.  Results are
-    written into the arena rows; the return value is only the number of
-    slots written (nothing heavy crosses the pool).
-    """
-    plan_id, arena_id, slots, batched = payload[:4]
-    injector = payload[4] if len(payload) > 4 else None
-    chunk_id = payload[5] if len(payload) > 5 else 0
+def _solve_plan_chunk_body(plan_id, arena_id, slots, batched, injector,
+                           chunk_id) -> int:
+    """Attach, solve and encode one plan chunk (all payload variants)."""
     plan = DevicePlan.attach(plan_id)
     arena = ResultArena.attach(arena_id)
     mode = None
@@ -707,6 +700,60 @@ def _solve_plan_chunk(payload):
     for slot, res in zip(slots, results):
         encode_result(res, arena.rows[slot], n_tot)
     return len(slots)
+
+
+def _solve_plan_chunk(payload):
+    """Worker body for zero-copy plan chunks.
+
+    Module-level so ProcessPoolExecutor can pickle it.  The payload is
+    ``(plan_id, arena_id, slots, batched[, injector, chunk_id,
+    sidecar_id])`` — two segment names, the energy-slot indices of this
+    chunk, the batching flag, the optional chaos-campaign injector whose
+    ``"worker"`` site fires here exactly as on the legacy chunk path,
+    and the optional telemetry-sidecar segment name.  Results are
+    written into the arena rows; the return value is the number of slots
+    written (nothing heavy crosses the pool).
+
+    With a ``sidecar_id`` the chunk runs under
+    :func:`~repro.observability.telemetry.capture_telemetry`: the
+    worker's tracer/metrics delta is written into the sidecar row keyed
+    by ``chunk_id``, and the return value becomes ``(n_slots,
+    overflow)`` where ``overflow`` is the pickled delta only when it did
+    not fit the fixed-width row (the parent merges either).  Outside a
+    real worker process the capture stays inert and ``overflow`` is
+    None.
+    """
+    plan_id, arena_id, slots, batched = payload[:4]
+    injector = payload[4] if len(payload) > 4 else None
+    chunk_id = payload[5] if len(payload) > 5 else 0
+    sidecar_id = payload[6] if len(payload) > 6 else None
+    if sidecar_id is None:
+        return _solve_plan_chunk_body(
+            plan_id, arena_id, slots, batched, injector, chunk_id
+        )
+    from ..observability.telemetry import TelemetrySidecar, capture_telemetry
+    from ..observability.tracer import trace_span
+
+    with capture_telemetry() as cap:
+        if cap.engaged:
+            with trace_span(
+                "chunk", category="task",
+                chunk=chunk_id, n_energies=len(slots),
+            ):
+                n = _solve_plan_chunk_body(
+                    plan_id, arena_id, slots, batched, injector, chunk_id
+                )
+        else:
+            n = _solve_plan_chunk_body(
+                plan_id, arena_id, slots, batched, injector, chunk_id
+            )
+    overflow = None
+    if cap.delta is not None:
+        blob = cap.delta.to_bytes()
+        sidecar = TelemetrySidecar.attach(sidecar_id)
+        if not sidecar.write(chunk_id, blob):
+            overflow = blob
+    return n, overflow
 
 
 # ---------------------------------------------------------------------------
