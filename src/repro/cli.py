@@ -186,6 +186,20 @@ def build_parser() -> argparse.ArgumentParser:
                  "instead of pickled solver state (default: "
                  "$REPRO_ZERO_COPY; bit-identical on every backend)",
         )
+        p.add_argument(
+            "--adaptive-energies", type=int, nargs="?", const=512,
+            default=None, metavar="BUDGET",
+            help="adaptive energy quadrature: refine the grid in "
+                 "backend-scheduled bisection waves up to BUDGET nodes "
+                 "per k-point (default budget 512; env: $REPRO_ADAPTIVE "
+                 "turns the mode on with defaults)",
+        )
+        p.add_argument(
+            "--energy-tol", type=float, default=None, metavar="TOL",
+            help="interpolation-error tolerance of the adaptive energy "
+                 "grid on the normalized [current, spectral] indicator "
+                 "(default 0.02; implies --adaptive-energies)",
+        )
 
     p_sim = sub.add_parser("simulate", help="one self-consistent bias point")
     p_sim.add_argument("spec", help="device spec JSON file")
@@ -384,6 +398,15 @@ def _backend_kwargs(args) -> dict:
         # only an explicit flag overrides; otherwise the calculation
         # falls back to $REPRO_ZERO_COPY
         kwargs["zero_copy"] = True
+    budget = getattr(args, "adaptive_energies", None)
+    tol = getattr(args, "energy_tol", None)
+    if budget is not None or tol is not None:
+        # either flag opts into wave-scheduled adaptive quadrature;
+        # without them energy_mode=None defers to $REPRO_ADAPTIVE
+        kwargs["energy_mode"] = "adaptive"
+        kwargs["max_energy_points"] = int(budget) if budget else 512
+        if tol is not None:
+            kwargs["adaptive_tol"] = float(tol)
     return kwargs
 
 

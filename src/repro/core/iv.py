@@ -45,6 +45,12 @@ class IVPoint:
     empty for a clean first-attempt convergence, e.g.
     ``("cold-restart", "beta-halved")`` for a ladder rescue, or
     ``("quarantined",)`` when every policy failed.
+
+    ``n_energy_nodes`` is the energy-quadrature node count of the final
+    transport solve, summed over k-points: the uniform grid size for
+    ``energy_mode="uniform"``, the accepted adaptive node count for
+    ``energy_mode="adaptive"`` (the per-point cost the wave scheduler
+    actually paid), and 0 for quarantined points.
     """
 
     v_gate: float
@@ -53,6 +59,7 @@ class IVPoint:
     converged: bool
     n_iterations: int
     recovery: tuple = ()
+    n_energy_nodes: int = 0
 
 
 def _point_to_dict(point: IVPoint) -> dict:
@@ -63,6 +70,7 @@ def _point_to_dict(point: IVPoint) -> dict:
         "converged": bool(point.converged),
         "n_iterations": int(point.n_iterations),
         "recovery": list(point.recovery),
+        "n_energy_nodes": int(point.n_energy_nodes),
     }
 
 
@@ -74,6 +82,7 @@ def _point_from_dict(data: dict) -> IVPoint:
         converged=bool(data["converged"]),
         n_iterations=int(data["n_iterations"]),
         recovery=tuple(data.get("recovery", ())),
+        n_energy_nodes=int(data.get("n_energy_nodes", 0)),
     )
 
 
@@ -285,13 +294,25 @@ class IVSweep:
             report.degraded_points.append(key)
         if not result.converged:
             report.unconverged_points.append(key)
+        transport = result.transport
+        adaptive = getattr(transport, "adaptive", None)
+        transmission = getattr(transport, "transmission", None)
+        if adaptive:
+            n_nodes = int(adaptive.get("nodes", 0))
+        elif transmission is not None:
+            n_nodes = int(
+                transmission.shape[0] * len(transport.energy_grid)
+            )
+        else:
+            n_nodes = 0
         point = IVPoint(
             v_gate=float(v_gate),
             v_drain=float(v_drain),
-            current_a=result.transport.current_a,
+            current_a=transport.current_a,
             converged=result.converged,
             n_iterations=result.n_iterations,
             recovery=tuple(recovery),
+            n_energy_nodes=n_nodes,
         )
         return point, result.phi, flops, degradation
 
@@ -348,6 +369,7 @@ class IVSweep:
                     current_a=point.current_a,
                     converged=point.converged,
                     resumed=False,
+                    n_energy_nodes=point.n_energy_nodes,
                 )
                 if point.recovery:
                     events.emit(

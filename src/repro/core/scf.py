@@ -252,7 +252,15 @@ class SelfConsistentSolver:
 
         for iteration in range(self.max_iterations):
             u_atoms = self.atom_potential_ev(phi)
-            transport_result = self.transport.solve_bias(u_atoms, v_drain)
+            # integrate on the explicit uniform window grid: adaptive
+            # refinement re-selects its nodes as the potential moves,
+            # which injects non-smooth quadrature noise into the
+            # fixed-point map and stalls the mixer.  Passing the grid is
+            # bit-identical to the default in uniform mode.
+            transport_result = self.transport.solve_bias(
+                u_atoms, v_drain,
+                energy_grid=self.transport.energy_grid(u_atoms, v_drain),
+            )
             flops.merge(transport_result.flops)
             if transport_result.degradation is not None:
                 degradation.merge(transport_result.degradation)
@@ -294,8 +302,15 @@ class SelfConsistentSolver:
                 v_gate=v_gate,
                 v_drain=v_drain,
             )
-        # final transport at the converged potential for reporting
-        final = self.transport.solve_bias(self.atom_potential_ev(phi), v_drain)
+        # final transport at the converged potential for reporting, on
+        # the same uniform grid the fixed point was converged against
+        # (a refined grid would report observables of a *different*
+        # quadrature than the one the density/potential pair satisfies)
+        u_final = self.atom_potential_ev(phi)
+        final = self.transport.solve_bias(
+            u_final, v_drain,
+            energy_grid=self.transport.energy_grid(u_final, v_drain),
+        )
         flops.merge(final.flops)
         flops.merge(ramp_flops)
         if final.degradation is not None:

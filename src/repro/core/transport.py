@@ -35,20 +35,27 @@ from ..observability.tracer import trace_span
 from ..parallel.backend import SelfEnergyCache, get_backend
 from ..parallel.plan import (
     DevicePlan,
+    PlanCapacityError,
     ResultArena,
     _solve_plan_chunk,
     decode_result,
     slot_width,
     zero_copy_enabled,
 )
-from ..parallel.scheduler import split_chunks
+from ..parallel.scheduler import split_chunks, wave_chunks
 from ..perf.flops import (
     FlopCounter,
     rgf_solve_flops,
     sancho_rubio_flops,
     wf_solve_flops,
 )
-from ..physics.grids import EnergyGrid, fermi_window_grid, trapezoid_weights
+from ..physics.grids import (
+    AdaptiveEnergyGrid,
+    EnergyGrid,
+    adaptive_enabled,
+    fermi_window_grid,
+    trapezoid_weights,
+)
 from ..resilience.degrade import (
     LADDER_EXCEPTIONS,
     DegradationBudget,
@@ -88,6 +95,15 @@ class TransportResult:
         Account of every self-healing action taken during this solve
         (sentinel trips, ladder steps, quarantined energy points,
         elastic-execution events); None only for hand-built results.
+    adaptive : dict or None
+        Refinement account of an adaptive-quadrature solve, summed over
+        k-points: ``waves`` (refinement waves run), ``nodes`` (accepted
+        quadrature nodes), ``solved`` (energy points actually solved),
+        ``saved_vs_uniform`` (solves avoided relative to the uniform
+        base grid), ``excluded`` (quarantined nodes dropped from the
+        estimator), ``est_error`` (worst interval error at convergence)
+        and ``budget_hits`` (k-points that exhausted the node budget).
+        None for uniform-grid solves.
     """
 
     energy_grid: EnergyGrid
@@ -99,6 +115,7 @@ class TransportResult:
     channels: np.ndarray
     flops: FlopCounter
     degradation: DegradationReport | None = None
+    adaptive: dict | None = None
 
 
 class TransportCalculation:
@@ -118,6 +135,25 @@ class TransportCalculation:
         Contact surface-GF algorithm.
     n_kT_window : float
         Half-width of the Fermi window in units of kT.
+    energy_mode : {"uniform", "adaptive"} or None
+        Quadrature strategy for the energy integral.  ``"uniform"`` runs
+        the full ``n_energy``-point grid; ``"adaptive"`` starts from a
+        coarse seed and bisects intervals whose transmission/spectral
+        interpolation error exceeds ``adaptive_tol``, solving each
+        refinement *wave* through the configured execution backend (see
+        :meth:`_solve_bias`).  None reads ``$REPRO_ADAPTIVE`` (default
+        uniform).
+    adaptive_tol : float
+        Absolute interpolation-error tolerance of the adaptive mode, in
+        the units of the normalized refinement indicator
+        ``[T*(fL-fR), log1p(spectral-density/scale)]``.
+    max_energy_points : int
+        Node budget of the adaptive mode per k-point; refinement stops
+        once this many nodes are accepted.
+    adaptive_max_passes : int
+        Bisection-depth cap of the adaptive mode.  The finest reachable
+        interval is the seed spacing divided by ``2**adaptive_max_passes``;
+        raise it when chasing resonances much narrower than the seed grid.
     backend : str, ExecutionBackend or None
         Local execution backend for the energy grid of each k-point:
         "serial" (default, the historical bit-identical loop), "thread"
@@ -150,8 +186,10 @@ class TransportCalculation:
         of megabytes of pickled solver state.  Serial/thread backends use
         the identical plan API over plain references, so every path stays
         bit-identical to the legacy payloads.  None reads
-        ``$REPRO_ZERO_COPY`` (default off); the adaptive energy mode and
-        known-corrupted Hamiltonians fall back to the legacy path.
+        ``$REPRO_ZERO_COPY`` (default off); known-corrupted Hamiltonians
+        fall back to the legacy path.  The adaptive energy mode
+        publishes its plan with reserved slot capacity and appends each
+        refinement wave's nodes in place (no republish per wave).
     """
 
     def __init__(
@@ -162,9 +200,10 @@ class TransportCalculation:
         eta: float = 1e-6,
         surface_method: str = "sancho",
         n_kT_window: float = 12.0,
-        energy_mode: str = "uniform",
+        energy_mode: str | None = None,
         adaptive_tol: float = 0.02,
         max_energy_points: int = 512,
+        adaptive_max_passes: int = 12,
         backend=None,
         workers=None,
         batch_energies: bool = False,
@@ -175,6 +214,8 @@ class TransportCalculation:
     ):
         if method not in ("wf", "rgf"):
             raise ValueError("method must be 'wf' or 'rgf'")
+        if energy_mode is None:
+            energy_mode = "adaptive" if adaptive_enabled() else "uniform"
         if energy_mode not in ("uniform", "adaptive"):
             raise ValueError("energy_mode must be 'uniform' or 'adaptive'")
         self.built = built
@@ -186,6 +227,7 @@ class TransportCalculation:
         self.energy_mode = energy_mode
         self.adaptive_tol = adaptive_tol
         self.max_energy_points = max_energy_points
+        self.adaptive_max_passes = int(adaptive_max_passes)
         self.spin_degeneracy = 1 if built.material.basis.spin else 2
         self.backend = get_backend(backend, workers)
         self.batch_energies = bool(batch_energies)
@@ -399,7 +441,9 @@ class TransportCalculation:
                 backend = SerialBackend()
         return backend
 
-    def _publish_plan(self, H, grid, potential_fp: str) -> DevicePlan:
+    def _publish_plan(
+        self, H, grid, potential_fp: str, energies=None, reserve=None
+    ) -> DevicePlan:
         """Publish one (bias, k) solve state as a :class:`DevicePlan`.
 
         Shared-memory mode engages exactly when the effective backend is
@@ -407,13 +451,22 @@ class TransportCalculation:
         space); serial and thread runs publish the same plan over plain
         references so lifecycle, fingerprints and ``ipc.*`` accounting
         behave identically everywhere at zero copy cost.
+
+        ``energies``/``reserve`` are the adaptive-quadrature variant:
+        the plan is published with the first wave's nodes only, plus
+        reserved slot capacity so later waves append their bisection
+        nodes through :meth:`DevicePlan.append_slots` instead of
+        republishing the segment.
         """
         mode = (
             "shared" if self._effective_backend().name == "process"
             else "local"
         )
         arrays = {
-            "energies": np.ascontiguousarray(grid.energies, dtype=float)
+            "energies": np.ascontiguousarray(
+                grid.energies if energies is None else energies,
+                dtype=float,
+            )
         }
         for i, block in enumerate(H.diagonal):
             arrays[f"diag{i}"] = block
@@ -432,6 +485,7 @@ class TransportCalculation:
                 "potential_fp": potential_fp,
             },
             mode=mode,
+            reserve=reserve,
         )
         if mode == "local":
             # local plans hand workers the parent's own cache: the plan
@@ -441,7 +495,7 @@ class TransportCalculation:
         return plan
 
     def _run_plan_chunks(self, plan, energies, chunks, backend, grid,
-                         capture: bool = False):
+                         capture: bool = False, arena=None, slots=None):
         """Dispatch zero-copy chunk payloads and decode the result arena.
 
         Payloads carry only the two segment names and the energy-slot
@@ -455,15 +509,25 @@ class TransportCalculation:
         tracer/metrics delta is read back and merged after the map; a
         delta too large for its row falls back to the chunk's pool
         return value (see :func:`_solve_plan_chunk`).
+
+        By default one arena is allocated per call and slots are looked
+        up in ``grid``; the adaptive wave loop instead passes a
+        persistent ``arena`` (sized to the plan's reserve capacity, kept
+        across waves) and explicit ``slots`` from
+        :meth:`DevicePlan.append_slots` — the caller then owns the
+        arena's lifecycle.
         """
         meta = plan.meta
-        index_of = {float(e): i for i, e in enumerate(grid.energies)}
-        slots = [index_of[float(e)] for e in energies]
-        arena = ResultArena.allocate(
-            len(grid.energies),
-            slot_width(meta["n_tot"], meta["n_blocks"]),
-            mode="shared",
-        )
+        if slots is None:
+            index_of = {float(e): i for i, e in enumerate(grid.energies)}
+            slots = [index_of[float(e)] for e in energies]
+        own_arena = arena is None
+        if own_arena:
+            arena = ResultArena.allocate(
+                len(grid.energies),
+                slot_width(meta["n_tot"], meta["n_blocks"]),
+                mode="shared",
+            )
         sidecar = (
             TelemetrySidecar.allocate(len(chunks), mode="shared")
             if capture else None
@@ -509,7 +573,8 @@ class TransportCalculation:
         finally:
             if sidecar is not None:
                 sidecar.release()
-            arena.release()
+            if own_arena:
+                arena.release()
 
     def _record_task_bytes(self, payloads, chunks, plan) -> None:
         """Record ``ipc.task_bytes`` for the shipped and counterfactual
@@ -549,7 +614,8 @@ class TransportCalculation:
                     path="zero_copy",
                 )
 
-    def _run_backend(self, solver, energies: list, plan=None, grid=None):
+    def _run_backend(self, solver, energies: list, plan=None, grid=None,
+                     chunks=None, arena=None, slots=None):
         """Solve ``energies`` through the configured execution backend.
 
         The grid is split into one contiguous chunk per worker (all in
@@ -571,12 +637,18 @@ class TransportCalculation:
         delta is merged back here — the parent's counters and span tree
         end up exactly what a serial run would have recorded, with
         ``worker`` provenance on the absorbed spans.
+
+        ``chunks``/``arena``/``slots`` override the default contiguous
+        split for the adaptive wave loop: small waves arrive pre-chunked
+        per point (:func:`repro.parallel.wave_chunks`) and ride one
+        persistent arena via explicit slot indices.
         """
         if not energies:
             return []
         backend = self._effective_backend()
-        n_chunks = 1 if backend.name == "serial" else backend.workers
-        chunks = split_chunks(len(energies), n_chunks)
+        if chunks is None:
+            n_chunks = 1 if backend.name == "serial" else backend.workers
+            chunks = split_chunks(len(energies), n_chunks)
         capture = False
         if backend.name == "process":
             from ..observability.metrics import get_metrics
@@ -585,7 +657,8 @@ class TransportCalculation:
             capture = get_tracer().enabled or get_metrics().enabled
         if plan is not None and plan.mode == "shared":
             return self._run_plan_chunks(
-                plan, energies, chunks, backend, grid, capture=capture
+                plan, energies, chunks, backend, grid, capture=capture,
+                arena=arena, slots=slots,
             )
         if plan is not None:
             solver = plan.solver()
@@ -626,6 +699,222 @@ class TransportCalculation:
                 )
             out.extend(chunk_results)
         return out
+
+    # -- adaptive energy waves -----------------------------------------
+
+    def _solve_adaptive(self, ik, n_k, H, grid, sample, solve_nodes, cache,
+                        mu_s, mu_d, kT, potential_fp, h_suspect,
+                        energy_faults, degradation):
+        """Wave-scheduled adaptive energy quadrature for one k-point.
+
+        Refinement is driven parent-side by the
+        :class:`~repro.physics.grids.AdaptiveEnergyGrid` wave engine:
+        each wave's unsolved nodes are dispatched through the configured
+        execution backend (per-point below ``min_chunk * workers``
+        nodes, contiguous chunks above —
+        :func:`repro.parallel.wave_chunks`), the refinement indicator
+        ``[T*(fL-fR), log1p(spectral-density / wave-0 max)]`` is computed from
+        the returned float64 results, and the next wave of bisection
+        midpoints is emitted until tolerance, the node budget or the
+        pass cap.  Every split decision is made in the parent from
+        bitwise round-tripped results, so the node set — and therefore
+        the whole solve — is bit-identical across
+        serial/thread/process/zero-copy.
+
+        With zero-copy on, the plan is published once with reserved
+        slot capacity and each wave's nodes are appended in place
+        (:meth:`DevicePlan.append_slots`); one persistent
+        :class:`ResultArena` sized to that capacity carries every
+        wave's results.  Quarantined nodes are recorded as ``None`` —
+        the refiner retires their intervals instead of pinning
+        refinement on an unsolvable point — and are charged against the
+        degradation budget here, since they never appear in the
+        returned grid.
+
+        Progress flows out as one ``wave_done`` event and one
+        ``adaptive.*`` metrics update per wave (all parent-side, hence
+        exactly equal on every backend).  Returns ``(grid, stats)``
+        where ``stats`` feeds :attr:`TransportResult.adaptive`.
+        """
+        from ..observability.metrics import get_metrics
+        from ..physics.fermi import fermi_dirac
+
+        scale = max(self.built.n_atoms * 0.1, 1.0)
+        n_initial = max(self.n_energy // 2, 9)
+        refiner = AdaptiveEnergyGrid(
+            float(grid.energies.min()),
+            float(grid.energies.max()),
+            n_initial=n_initial,
+            tol=self.adaptive_tol,
+            max_points=self.max_energy_points,
+            max_passes=self.adaptive_max_passes,
+        )
+        # every node ever evaluated fits: wave 0 carries the n_initial
+        # seed, and each later midpoint either joins the grid (bounded
+        # by max_points) or retires its interval (intervals ever created
+        # stay below n_initial + 2*max_points), so twice the sum bounds
+        # the total slot demand
+        capacity = 2 * (n_initial + self.max_energy_points)
+        per_point = (
+            (self.backend.name == "serial" and not self.batch_energies)
+            or h_suspect
+            or energy_faults
+        )
+        eff = self._effective_backend()
+        n_workers = 1 if eff.name == "serial" else eff.workers
+        metrics = get_metrics()
+        events = get_events()
+
+        plan = None
+        arena = None
+        n_waves = 0
+        n_solved = 0
+        spec_scale = None
+        wave = refiner.first_wave()
+        try:
+            if self.zero_copy and not h_suspect and not energy_faults:
+                plan = self._publish_plan(
+                    H, grid, potential_fp,
+                    energies=np.asarray(wave, dtype=float),
+                    reserve={"energies": capacity},
+                )
+                if plan.mode == "shared":
+                    arena = ResultArena.allocate(
+                        capacity,
+                        slot_width(
+                            plan.meta["n_tot"], plan.meta["n_blocks"]
+                        ),
+                        mode="shared",
+                    )
+            while wave:
+                n_waves += 1
+                fresh = [e for e in wave if e not in cache]
+                slots = None
+                if plan is not None and fresh:
+                    if n_waves == 1:
+                        # wave 0 was published as the plan's initial
+                        # energies; its slots already exist
+                        slots = list(range(len(fresh)))
+                    else:
+                        try:
+                            slots = plan.append_slots(fresh)
+                        except PlanCapacityError:
+                            slots = None  # overflow: legacy dispatch
+                if per_point:
+                    for energy in fresh:
+                        sample(energy)
+                        events.maybe_heartbeat(
+                            stage=f"k-point {ik + 1}/{n_k} "
+                                  f"wave {n_waves}"
+                        )
+                elif fresh:
+                    overflow = (
+                        plan is not None and plan.mode == "shared"
+                        and slots is None
+                    )
+                    solve_nodes(
+                        fresh,
+                        None if overflow else plan,
+                        chunks=wave_chunks(len(fresh), n_workers),
+                        node_arena=None if overflow else arena,
+                        slots=None if overflow else slots,
+                        stage=f"wave {n_waves}",
+                    )
+                n_solved += len(fresh)
+                pairs = []
+                for energy in wave:
+                    res = cache.get(energy)
+                    if res is None:
+                        pairs.append((energy, None, 0.0))
+                        continue
+                    fl = float(fermi_dirac(energy, mu_s, kT))
+                    fr = float(fermi_dirac(energy, mu_d, kT))
+                    pairs.append((
+                        energy,
+                        float(res.transmission) * (fl - fr),
+                        float(res.spectral_left.sum()) * fl
+                        + float(res.spectral_right.sum()) * fr,
+                    ))
+                if spec_scale is None:
+                    # normalize the spectral component by its wave-0
+                    # magnitude so both indicator components are O(1);
+                    # computed from round-tripped float64 results, hence
+                    # identical on every backend
+                    spec_scale = max(
+                        [abs(s) for _, t, s in pairs if t is not None],
+                        default=0.0,
+                    )
+                    spec_scale = max(spec_scale, scale)
+                for energy, t_term, s_term in pairs:
+                    if t_term is None:
+                        refiner.record(energy, None)
+                    else:
+                        # log-compress the spectral component: quasi-bound
+                        # peaks tower orders of magnitude over the lead
+                        # background, and resolving them to *absolute*
+                        # tolerance would consume the whole node budget;
+                        # log1p bounds their *relative* interpolation error
+                        # at the same tol as the current integrand
+                        refiner.record(energy, np.array(
+                            [t_term, np.log1p(s_term / spec_scale)]
+                        ))
+                wave = refiner.next_wave()
+                if metrics.enabled:
+                    metrics.inc("adaptive.waves", 1.0)
+                    if fresh:
+                        metrics.inc(
+                            "adaptive.nodes_added", float(len(fresh))
+                        )
+                    if np.isfinite(refiner.est_error):
+                        metrics.gauge(
+                            "adaptive.est_error",
+                            float(refiner.est_error),
+                        )
+                if events.enabled:
+                    events.emit(
+                        "wave_done",
+                        k=ik,
+                        wave=n_waves - 1,
+                        n_new=len(fresh),
+                        n_nodes=refiner.n_nodes,
+                        est_error=(
+                            float(refiner.est_error)
+                            if np.isfinite(refiner.est_error) else None
+                        ),
+                    )
+        finally:
+            if arena is not None:
+                arena.release()
+            if plan is not None:
+                plan.release()
+
+        # quarantined nodes already left the refiner's grid; account
+        # them against the quadrature budget and the degradation report
+        # here (the generic reweighting block never sees them)
+        if refiner.n_excluded:
+            self.degradation_budget.check(
+                refiner.n_excluded,
+                refiner.n_excluded + refiner.n_nodes,
+                context=f"k-point {ik} adaptive",
+            )
+            degradation.reweighted_grids += 1
+            degradation.record_ladder("quadrature:reweight")
+        saved = max(len(grid) - n_solved, 0)
+        if metrics.enabled and saved:
+            metrics.inc("adaptive.nodes_saved_vs_uniform", float(saved))
+        stats = {
+            "waves": n_waves,
+            "nodes": refiner.n_nodes,
+            "solved": n_solved,
+            "saved_vs_uniform": saved,
+            "excluded": refiner.n_excluded,
+            "est_error": (
+                float(refiner.est_error)
+                if np.isfinite(refiner.est_error) else 0.0
+            ),
+            "budget_hits": int(refiner.budget_hit),
+        }
+        return refiner.grid(), stats
 
     # ------------------------------------------------------------------
     def solve_bias(
@@ -700,6 +989,18 @@ class TransportCalculation:
             self.injector is not None and self.injector.targets("energy")
         )
 
+        adaptive_info = None
+        if self.energy_mode == "adaptive" and energy_grid is None:
+            adaptive_info = {
+                "waves": 0,
+                "nodes": 0,
+                "solved": 0,
+                "saved_vs_uniform": 0,
+                "excluded": 0,
+                "est_error": 0.0,
+                "budget_hits": 0,
+            }
+
         for ik, (k, wk) in enumerate(zip(kgrid.k_points, kgrid.weights)):
             get_events().maybe_heartbeat(stage=f"k-point {ik + 1}/{n_k}")
             H = self.hamiltonian(potential_ev, k)
@@ -715,12 +1016,11 @@ class TransportCalculation:
                 self.zero_copy
                 and not h_suspect
                 and not energy_faults
-                and not (
-                    self.energy_mode == "adaptive" and energy_grid is None
-                )
+                and adaptive_info is None
             ):
                 # publish this (bias, k) solve state once; every chunk of
-                # the energy sweep references it by id
+                # the energy sweep references it by id (the adaptive mode
+                # publishes its own reserve-capacity plan per k-point)
                 plan = self._publish_plan(H, grid, potential_fp)
             cache: dict[float, object] = {}
 
@@ -735,31 +1035,53 @@ class TransportCalculation:
                         self._charge_flops(flops, H, res.n_channels_left)
                 return cache[e]
 
-            try:
-                if self.energy_mode == "adaptive" and energy_grid is None:
-                    from ..physics.fermi import fermi_dirac
-                    from ..physics.grids import AdaptiveEnergyGrid
-
-                    def indicator(energy: float) -> float:
-                        res = sample(energy)
-                        if res is None:  # quarantined: no refinement signal
-                            return 0.0
-                        fl = float(fermi_dirac(energy, mu_s, kT))
-                        fr = float(fermi_dirac(energy, mu_d, kT))
-                        return float(
-                            res.spectral_left.sum() * fl
-                            + res.spectral_right.sum() * fr
-                        )
-
-                    scale = max(built.n_atoms * 0.1, 1.0)
-                    refiner = AdaptiveEnergyGrid(
-                        float(grid.energies.min()),
-                        float(grid.energies.max()),
-                        n_initial=max(self.n_energy // 2, 9),
-                        tol=self.adaptive_tol * scale,
-                        max_points=self.max_energy_points,
+            def solve_nodes(fresh, node_plan, slot_grid=None, chunks=None,
+                            node_arena=None, slots=None, stage="leftover"):
+                # dispatch fresh nodes through the backend; anything the
+                # chunked path could not deliver cleanly is re-solved
+                # point-by-point down the degradation ladder
+                chunk_results = None
+                try:
+                    chunk_results = self._run_backend(
+                        solver, fresh, plan=node_plan, grid=slot_grid,
+                        chunks=chunks, arena=node_arena, slots=slots,
                     )
-                    k_grid_e = refiner.refine(indicator)
+                except DegradationBudgetError:
+                    raise
+                except LADDER_EXCEPTIONS:
+                    if sentinel.strict or not sentinel.enabled:
+                        raise
+                    degradation.record_ladder("chunk:exception")
+                if chunk_results is not None:
+                    for energy, res in zip(fresh, chunk_results):
+                        if res is not None and not non_finite(res):
+                            cache[energy] = res
+                            self._charge_flops(
+                                flops, H, res.n_channels_left
+                            )
+                leftover = [e for e in fresh if e not in cache]
+                if leftover and sentinel.enabled and not sentinel.strict:
+                    degradation.record_ladder("chunk:per-point")
+                for energy in leftover:
+                    sample(energy)
+                    get_events().maybe_heartbeat(
+                        stage=f"k-point {ik + 1}/{n_k} {stage}"
+                    )
+
+            try:
+                if adaptive_info is not None:
+                    k_grid_e, k_stats = self._solve_adaptive(
+                        ik, n_k, H, grid, sample, solve_nodes, cache,
+                        mu_s, mu_d, kT, potential_fp,
+                        h_suspect, energy_faults, degradation,
+                    )
+                    for key, val in k_stats.items():
+                        if key == "est_error":
+                            adaptive_info[key] = max(
+                                adaptive_info[key], val
+                            )
+                        else:
+                            adaptive_info[key] += val
                 elif (
                     self.backend.name == "serial"
                     and not self.batch_energies
@@ -781,35 +1103,7 @@ class TransportCalculation:
                         float(e) for e in k_grid_e.energies
                         if float(e) not in cache
                     ]
-                    chunk_results = None
-                    try:
-                        chunk_results = self._run_backend(
-                            solver, fresh, plan=plan, grid=k_grid_e
-                        )
-                    except DegradationBudgetError:
-                        raise
-                    except LADDER_EXCEPTIONS:
-                        if sentinel.strict or not sentinel.enabled:
-                            raise
-                        degradation.record_ladder("chunk:exception")
-                    if chunk_results is not None:
-                        for energy, res in zip(fresh, chunk_results):
-                            if res is not None and not non_finite(res):
-                                cache[energy] = res
-                                self._charge_flops(
-                                    flops, H, res.n_channels_left
-                                )
-                    # anything the chunked path could not deliver cleanly
-                    # is re-solved point-by-point down the degradation
-                    # ladder
-                    leftover = [e for e in fresh if e not in cache]
-                    if leftover and sentinel.enabled and not sentinel.strict:
-                        degradation.record_ladder("chunk:per-point")
-                    for energy in leftover:
-                        sample(energy)
-                        get_events().maybe_heartbeat(
-                            stage=f"k-point {ik + 1}/{n_k} leftover"
-                        )
+                    solve_nodes(fresh, plan, slot_grid=k_grid_e)
             finally:
                 if plan is not None:
                     plan.release()
@@ -890,6 +1184,7 @@ class TransportCalculation:
             channels=channels,
             flops=flops,
             degradation=degradation,
+            adaptive=adaptive_info,
         )
 
 

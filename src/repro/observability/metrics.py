@@ -29,7 +29,16 @@ dashboards have one place to look):
   ``ipc.plan_attaches`` (counter), ``ipc.arena_bytes`` (histogram) and
   ``ipc.arena_occupancy`` (gauge), plus
   ``ipc.task_bytes{path=pickled|zero_copy}`` — the serialized payload a
-  task ships on the legacy pickle path versus the plan-id path;
+  task ships on the legacy pickle path versus the plan-id path, and
+  ``ipc.slot_appends`` — energies appended into reserved plan capacity
+  by the adaptive wave loop;
+* ``adaptive.*`` — wave-scheduled energy quadrature
+  (``TransportCalculation`` with ``energy_mode="adaptive"``):
+  ``adaptive.waves`` / ``adaptive.nodes_added`` /
+  ``adaptive.nodes_saved_vs_uniform`` (counters) and
+  ``adaptive.est_error`` (gauge: worst interval interpolation error of
+  the last scored wave).  All recorded parent-side from bitwise
+  round-tripped results, so they are exactly equal on every backend;
 * ``cache.*``, ``scf.*``, ``comm.*``, ``kernel.*`` — self-energy cache,
   convergence telemetry, per-level communication and kernel flops.
 

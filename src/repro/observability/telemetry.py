@@ -92,6 +92,7 @@ EVENT_TYPES = (
     "run_started",
     "heartbeat",
     "point_done",
+    "wave_done",
     "degradation",
     "straggler",
     "chunk_retired",
@@ -715,6 +716,7 @@ def summarize_events(events) -> dict:
         "stragglers": [],
         "chunks_retired": 0,
         "heartbeats": 0,
+        "waves": 0,
     }
     for ev in events:
         name = ev.get("event")
@@ -741,6 +743,8 @@ def summarize_events(events) -> dict:
             summary["stragglers"].append(ev)
         elif name == "chunk_retired":
             summary["chunks_retired"] += 1
+        elif name == "wave_done":
+            summary["waves"] += 1
         elif name == "heartbeat":
             summary["heartbeats"] += 1
         elif name == "run_finished":

@@ -6,8 +6,14 @@ transport driver hands whole *chunks* of independent energy points to an
 ``ProcessPoolExecutor`` — and the innermost kernels share a keyed,
 size-bounded :class:`SelfEnergyCache` so Sancho-Rubio surface GFs and
 contact self-energies computed once are reused across energy points,
-k-points and SCF iterations (OMEN reuses its boundary self-energies the
-same way; they depend only on the lead blocks, not the interior device).
+k-points, SCF iterations and adaptive refinement waves (OMEN reuses its
+boundary self-energies the same way; they depend only on the lead blocks,
+not the interior device).  Keys are exact per energy, which is what makes
+wave-scheduled refinement compose with the cache: every wave of one
+(bias, k) plan resolves to the same ``lead_token``, a worker's
+plan-attached solver — and the cache inside it — persists across the
+waves it serves, and when the SCF loop re-solves the refined node set at
+the next iteration every Σ(E) computed during refinement is a hit.
 
 Backend choice is orthogonal to the 4-level decomposition model in
 :mod:`repro.parallel.decomposition`: the decomposition says *which* rank

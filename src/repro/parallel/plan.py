@@ -21,6 +21,13 @@ Two modes keep every execution path bit-identical:
   by the serial and thread backends (and by the parent when it salvages a
   restarted pool's work).  No copy, no hash mismatch, no behaviour change.
 
+Plans can also *grow* without republishing: arrays published with
+``reserve`` capacity (the adaptive energy-wave loop reserves room for
+bisection nodes up front) keep an owner-side writable view, and
+:meth:`DevicePlan.append_slots` writes each refinement wave's new
+energies straight into the already-mapped segment — attached workers see
+them through the same pages, counted under ``ipc.slot_appends``.
+
 Lifecycle: a published plan starts with refcount 1; :meth:`DevicePlan.release`
 drops it and the segment is closed+unlinked at zero.  Everything published
 and not yet released is visible through :func:`active_plans`, and an
@@ -60,6 +67,7 @@ from ..observability.metrics import get_metrics
 
 __all__ = [
     "DevicePlan",
+    "PlanCapacityError",
     "PlanLeakWarning",
     "ResultArena",
     "active_plans",
@@ -85,6 +93,15 @@ _LOCAL_IDS = itertools.count()
 
 class PlanLeakWarning(ResourceWarning):
     """A shared-memory plan survived to interpreter shutdown unreleased."""
+
+
+class PlanCapacityError(ValueError):
+    """An :meth:`DevicePlan.append_slots` call overran reserved capacity.
+
+    Callers that grow a plan incrementally (the adaptive energy-wave
+    loop) catch this to fall back to legacy pickled dispatch for the
+    overflow instead of republishing the whole segment mid-run.
+    """
 
 
 def zero_copy_enabled(flag=None) -> bool:
@@ -207,6 +224,8 @@ class DevicePlan:
         self._lock = threading.Lock()
         self._solver = None
         self._local_sigma_cache = None
+        self._reserve = {}
+        self._cursor = {}
         return self
 
     # -- publishing ----------------------------------------------------
@@ -218,6 +237,7 @@ class DevicePlan:
         payload: bytes | None = None,
         mode: str = "shared",
         writable: bool = False,
+        reserve: dict | None = None,
     ) -> "DevicePlan":
         """Publish arrays + metadata, returning the owning plan handle.
 
@@ -237,6 +257,14 @@ class DevicePlan:
         writable : bool
             Attachers get writable views (only the result arena wants
             this; plans default to read-only mappings).
+        reserve : dict of str -> int or None
+            Capacities for 1-D arrays that will grow after publication
+            (the adaptive energy-wave loop appends bisection nodes with
+            :meth:`append_slots`).  Each named array is padded with
+            zeros to its capacity inside the segment; the owner keeps a
+            writable view of it while attachers stay read-only, so new
+            values written before a chunk is dispatched are visible to
+            every worker through the one shared mapping — no republish.
 
         Returns
         -------
@@ -246,6 +274,26 @@ class DevicePlan:
         if mode not in ("shared", "local"):
             raise ValueError("mode must be 'shared' or 'local'")
         meta = dict(meta or {})
+        reserve = {k: int(v) for k, v in (reserve or {}).items()}
+        cursors = {}
+        if reserve:
+            arrays = dict(arrays)
+            for name, cap in reserve.items():
+                arr = np.ascontiguousarray(arrays[name])
+                if arr.ndim != 1:
+                    raise ValueError(
+                        f"reserve only supports 1-D arrays; {name!r} has "
+                        f"shape {arr.shape}"
+                    )
+                if arr.size > cap:
+                    raise ValueError(
+                        f"reserve capacity {cap} < initial size {arr.size} "
+                        f"for array {name!r}"
+                    )
+                padded = np.zeros(cap, dtype=arr.dtype)
+                padded[:arr.size] = arr
+                arrays[name] = padded
+                cursors[name] = int(arr.size)
         t0 = time.perf_counter()
         self = cls._blank()
         self.mode = mode
@@ -255,6 +303,8 @@ class DevicePlan:
         self._payload_bytes = payload
         self._owner = True
         self._refcount = 1
+        self._reserve = reserve
+        self._cursor = cursors
 
         if mode == "local":
             self._arrays = dict(arrays)
@@ -284,6 +334,7 @@ class DevicePlan:
                 "table": table,
                 "payload": payload_span,
                 "writable": self.writable,
+                "reserve": reserve,
             }
             header_bytes = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
             data_start = _align(_PRELUDE.size + len(header_bytes))
@@ -300,7 +351,7 @@ class DevicePlan:
                     offset=data_start + off,
                 ).reshape(shape)
                 view[...] = normalized[name]
-                if not self.writable:
+                if not self.writable and name not in reserve:
                     view.flags.writeable = False
                 views[name] = view
             if payload_span is not None:
@@ -355,6 +406,7 @@ class DevicePlan:
         self.meta = header["meta"]
         self.fingerprint = header["fingerprint"]
         self.writable = bool(header.get("writable", False))
+        self._reserve = dict(header.get("reserve") or {})
         views = {}
         for name, (off, shape, dtype) in header["table"].items():
             view = np.frombuffer(
@@ -396,6 +448,78 @@ class DevicePlan:
     def names(self) -> list[str]:
         """Sorted names of the published arrays."""
         return sorted(self._arrays)
+
+    def reserved(self, name: str = "energies") -> tuple[int, int]:
+        """``(used, capacity)`` of a reserve-published array (owner side)."""
+        cap = self._reserve.get(name)
+        if cap is None:
+            raise KeyError(
+                f"array {name!r} of plan {self.plan_id} was not published "
+                f"with reserve capacity"
+            )
+        return self._cursor.get(name, cap), cap
+
+    def append_slots(self, values, name: str = "energies") -> list[int]:
+        """Write new values into reserved capacity; return their slots.
+
+        This is the incremental-growth half of the zero-copy contract:
+        the adaptive energy-wave loop appends each wave's bisection
+        nodes here, then dispatches chunks referencing the returned slot
+        indices.  Attached workers see the new values through the same
+        shared mapping (the owner's view aliases the segment bytes), so
+        nothing is republished and no worker re-attaches.
+
+        Parameters
+        ----------
+        values : iterable of float
+            New entries, written contiguously at the current cursor.
+        name : str
+            A 1-D array published with ``reserve`` capacity.
+
+        Returns
+        -------
+        list of int
+            The slot indices the values landed in — valid both as
+            indices into :meth:`array` and as :class:`ResultArena` rows
+            when the arena was sized to the reserve capacity.
+
+        Raises
+        ------
+        PlanCapacityError
+            If the append would overrun the reserved capacity.  Callers
+            fall back to legacy dispatch for the overflow.
+        RuntimeError
+            If called on an attached (non-owner) handle.
+        """
+        if not self._owner:
+            raise RuntimeError(
+                "only the publishing process can append plan slots"
+            )
+        cap = self._reserve.get(name)
+        if cap is None:
+            raise KeyError(
+                f"array {name!r} of plan {self.plan_id} was not published "
+                f"with reserve capacity"
+            )
+        values = [float(v) for v in values]
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"plan {self.plan_id} already unlinked")
+            cursor = self._cursor.get(name, cap)
+            if cursor + len(values) > cap:
+                raise PlanCapacityError(
+                    f"append of {len(values)} value(s) overruns reserve "
+                    f"capacity {cap} of {name!r} (cursor at {cursor})"
+                )
+            arr = self._arrays[name]
+            slots = list(range(cursor, cursor + len(values)))
+            for i, v in zip(slots, values):
+                arr[i] = v
+            self._cursor[name] = cursor + len(values)
+        metrics = get_metrics()
+        if metrics.enabled and values:
+            metrics.inc("ipc.slot_appends", float(len(values)))
+        return slots
 
     def payload_object(self):
         """Unpickle (once, cached) and return the opaque payload blob."""

@@ -35,6 +35,7 @@ __all__ = [
     "static_blocks",
     "round_robin",
     "split_chunks",
+    "wave_chunks",
     "greedy_balance",
     "run_tasks",
     "ScheduleReport",
@@ -92,6 +93,32 @@ def split_chunks(n_items: int, n_chunks: int) -> list[list[int]]:
     ]
     assert sum(len(c) for c in chunks) == n_items
     return chunks
+
+
+def wave_chunks(
+    n_items: int, n_workers: int, min_chunk: int = 2
+) -> list[list[int]]:
+    """Chunking for one adaptive refinement wave.
+
+    Waves shrink as refinement converges: the first wave carries the
+    full initial grid, late waves may carry two or three bisection
+    midpoints.  Splitting a tiny wave into ``n_workers`` contiguous
+    chunks would serialize it behind one worker's batched solve while
+    the rest idle, so below ``min_chunk * n_workers`` items the wave
+    degrades to per-point dispatch — every node becomes its own chunk
+    and the pool balances them dynamically.  Larger waves use the same
+    contiguous :func:`split_chunks` layout as uniform grids, keeping
+    the batched-kernel fast path.  Coverage is exact either way.
+    """
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    if min_chunk < 1:
+        raise ValueError("min_chunk must be >= 1")
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if n_items < min_chunk * n_workers:
+        return [[i] for i in range(n_items)]
+    return split_chunks(n_items, n_workers)
 
 
 def greedy_balance(costs: Sequence[float], n_workers: int) -> list[list[int]]:

@@ -21,6 +21,7 @@ Two energy-grid constructions are provided:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -29,11 +30,32 @@ import numpy as np
 __all__ = [
     "EnergyGrid",
     "MomentumGrid",
+    "adaptive_enabled",
     "fermi_window_grid",
     "uniform_grid",
     "AdaptiveEnergyGrid",
     "trapezoid_weights",
 ]
+
+
+def adaptive_enabled(flag=None) -> bool:
+    """Resolve an adaptive-quadrature request against ``$REPRO_ADAPTIVE``.
+
+    Parameters
+    ----------
+    flag : bool or None
+        An explicit request wins; ``None`` falls back to the environment
+        variable (truthy values: ``1/true/yes/on``, case-insensitive).
+
+    Returns
+    -------
+    bool
+        Whether the adaptive energy mode should be the default.
+    """
+    if flag is not None:
+        return bool(flag)
+    raw = (os.environ.get("REPRO_ADAPTIVE") or "").strip().lower()
+    return raw in ("1", "true", "yes", "on")
 
 
 def trapezoid_weights(points: np.ndarray) -> np.ndarray:
@@ -152,11 +174,26 @@ class AdaptiveEnergyGrid:
     intervals whose midpoint deviates from the linear interpolant by more
     than ``tol`` (absolute, in the integrand's units).  This is the standard
     way quantum-transport codes catch narrow resonances without paying for a
-    globally fine grid.
+    globally fine grid.  Refinement *spreads*: an interval that passes the
+    midpoint test is still split while an adjacent interval is failing, so
+    a resonance whose midpoint value coincidentally lands on the linear
+    interpolant cannot masquerade as converged (see :meth:`next_wave`).
 
-    Use :meth:`refine` with the integrand callable; the callable is invoked
-    only on *new* energies, and all evaluations are cached in
-    :attr:`samples`.
+    Two driving styles share one refinement engine:
+
+    * **callable** — :meth:`refine` walks the waves internally, invoking
+      the integrand only on energies *not yet* in :attr:`samples` (each
+      node is evaluated exactly once, pinned by :attr:`n_evaluations`);
+    * **wave** — the caller pulls node batches with :meth:`first_wave` /
+      :meth:`next_wave`, solves them however it likes (e.g. through a
+      parallel execution backend) and feeds the values back with
+      :meth:`record`.  A node recorded as ``None`` (a quarantined solve)
+      is excluded: the intervals touching it are retired instead of
+      pinning refinement on an unsolvable point, and the node never
+      appears in the final grid.
+
+    Samples may be scalars or 1-D vectors (e.g. transmission *and*
+    spectral density); the interval error is the max over components.
     """
 
     emin: float
@@ -164,6 +201,7 @@ class AdaptiveEnergyGrid:
     n_initial: int = 16
     tol: float = 1e-3
     max_points: int = 4096
+    max_passes: int = 12
     samples: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -171,37 +209,234 @@ class AdaptiveEnergyGrid:
             raise ValueError("emax must exceed emin")
         if self.n_initial < 3:
             raise ValueError("need at least 3 initial points")
+        self.n_evaluations = 0
+        self._reset_waves()
 
-    def refine(self, integrand: Callable[[float], float], max_passes: int = 12) -> EnergyGrid:
+    # -- wave engine ---------------------------------------------------
+
+    def _reset_waves(self) -> None:
+        self._accepted: set[float] = set()
+        self._excluded: set[float] = set()
+        self._active: list[tuple[float, float]] = []
+        self._leaves: list[tuple[float, float]] = []
+        self._pending: list[float] = []
+        self._wave = 0
+        self._budget_hit = False
+        self._est_error = float("inf")
+        self.node_counts: list[int] = []
+
+    @property
+    def wave_index(self) -> int:
+        """Waves emitted so far (wave 0 is the initial uniform seed)."""
+        return self._wave
+
+    @property
+    def est_error(self) -> float:
+        """Max interpolation error seen while processing the last wave."""
+        return self._est_error
+
+    @property
+    def n_nodes(self) -> int:
+        """Accepted quadrature nodes so far (excluded nodes not counted)."""
+        return len(self._accepted - self._excluded)
+
+    @property
+    def n_excluded(self) -> int:
+        """Nodes quarantined out of the error estimator and the grid."""
+        return len(self._excluded)
+
+    @property
+    def budget_hit(self) -> bool:
+        """True once the ``max_points`` node budget stopped refinement."""
+        return self._budget_hit
+
+    def first_wave(self) -> list[float]:
+        """Reset the engine and emit wave 0: the uniform seed nodes."""
+        self._reset_waves()
+        nodes = [float(e) for e in
+                 np.linspace(self.emin, self.emax, self.n_initial)]
+        self._accepted.update(nodes)
+        self._active = list(zip(nodes[:-1], nodes[1:]))
+        self._pending = nodes
+        self.node_counts.append(self.n_nodes)
+        return list(nodes)
+
+    def record(self, energy: float, value) -> None:
+        """Memoize one solved node; ``None`` quarantines it.
+
+        Every node a wave emits must be recorded (from :attr:`samples`,
+        a caller-side cache, or a fresh solve) before :meth:`next_wave`.
+        """
+        e = float(energy)
+        if value is None:
+            self._excluded.add(e)
+            self.samples.pop(e, None)
+        else:
+            self.samples[e] = value
+
+    def next_wave(self) -> list[float]:
+        """Score the last wave's intervals and emit the next bisection wave.
+
+        Intervals whose recorded midpoint deviates from the linear
+        interpolant by more than ``tol`` are split (the midpoint joins
+        the grid); intervals touching an excluded node are retired.
+        Returns an empty list when everything is converged, the node
+        budget (``max_points``) is exhausted, or ``max_passes`` waves
+        have been emitted.
+
+        A passing interval is still split when an *adjacent* active
+        interval failed its own test (refinement spreading).  The
+        midpoint test alone can be defeated by chord coincidence — a
+        resonance positioned so the midpoint value happens to land on
+        the linear interpolant of the endpoints looks converged while
+        hiding the peak — but such a feature always leaks a large error
+        into a neighbouring interval, whose failure vetoes the
+        coincidence.
+        """
+        if len(self._accepted) >= self.max_points:
+            self._budget_hit = True
+        if self._budget_hit or self._wave > self.max_passes:
+            self._leaves.extend(self._active)
+            self._active = []
+            self._pending = []
+            return []
+        if self._wave == 0:
+            # wave 0 carried the seed nodes themselves; the intervals
+            # between them are already active — just emit midpoints
+            self._wave = 1
+            return self._emit()
+        # score every active interval first (None = quarantined endpoint
+        # or midpoint: the interval is retired, never split)
+        scored: list[tuple[float, float, float | None]] = []
+        for a, b in self._active:
+            mid = 0.5 * (a + b)
+            if (
+                a in self._excluded or b in self._excluded
+                or mid in self._excluded
+            ):
+                scored.append((a, b, None))
+            else:
+                scored.append((a, b, self._interval_error(a, mid, b)))
+        # then decide splits with the neighbour veto: _active is kept
+        # sorted by energy, so adjacency is a shared endpoint at i +- 1
+        split = [err is not None and err > self.tol for _, _, err in scored]
+        for i, (a, b, err) in enumerate(scored):
+            if err is None or split[i]:
+                continue
+            for j in (i - 1, i + 1):
+                if 0 <= j < len(scored):
+                    aj, bj, ej = scored[j]
+                    if (
+                        ej is not None and ej > self.tol
+                        and (bj == a or aj == b)
+                    ):
+                        split[i] = True
+                        break
+        next_active: list[tuple[float, float]] = []
+        worst = 0.0
+        for i, (a, b, err) in enumerate(scored):
+            if err is None:
+                continue  # quarantined node: retire, don't pin refinement
+            worst = max(worst, err)
+            if split[i]:
+                mid = 0.5 * (a + b)
+                self._accepted.add(mid)
+                next_active.append((a, mid))
+                next_active.append((mid, b))
+                if len(self._accepted) >= self.max_points:
+                    self._budget_hit = True
+                    # unscored intervals keep their solved midpoints as
+                    # converged-leaf quadrature support
+                    self._leaves.extend(
+                        (x[0], x[1]) for x in scored[i + 1:]
+                    )
+                    break
+            else:
+                self._leaves.append((a, b))
+        self._est_error = worst
+        self._active = next_active
+        self._wave += 1
+        self.node_counts.append(self.n_nodes)
+        if self._budget_hit or self._wave > self.max_passes:
+            # refinement is truncated: the still-active intervals become
+            # leaves (their midpoints may not have been solved yet)
+            self._leaves.extend(self._active)
+            self._active = []
+            self._pending = []
+            return []
+        return self._emit()
+
+    def _emit(self) -> list[float]:
+        """Midpoints of the active intervals — the next wave's nodes."""
+        self._pending = [0.5 * (a + b) for a, b in self._active]
+        return list(self._pending)
+
+    def _interval_error(self, a: float, mid: float, b: float) -> float:
+        va = np.asarray(self.samples[a], dtype=float)
+        vb = np.asarray(self.samples[b], dtype=float)
+        vm = np.asarray(self.samples[mid], dtype=float)
+        return float(np.max(np.abs(vm - 0.5 * (va + vb))))
+
+    def grid(self) -> EnergyGrid:
+        """Final :class:`EnergyGrid` over the refined node set.
+
+        On the clean path the grid is a composite-Simpson rule over the
+        converged leaf intervals: every leaf's midpoint was already
+        solved to score the interval, so including it with Simpson
+        weights upgrades the quadrature from O(h^2) to O(h^4) at zero
+        extra solves.  A leaf whose midpoint was never solved (budget or
+        pass-limit truncation) contributes trapezoid weights instead.
+        When nodes were quarantined the engine falls back to trapezoid
+        weights over the surviving accepted nodes — the reweighting
+        semantics of the degradation ladder.
+        """
+        survivors = self._accepted - self._excluded
+        if not survivors:
+            raise ValueError("every adaptive node was quarantined")
+        if self._excluded or not self._leaves:
+            pts = np.array(sorted(survivors))
+            return EnergyGrid(pts, trapezoid_weights(pts))
+        weights: dict[float, float] = {}
+        for a, b in sorted(self._leaves):
+            mid = 0.5 * (a + b)
+            h = b - a
+            if mid in self.samples:
+                weights[a] = weights.get(a, 0.0) + h / 6.0
+                weights[mid] = weights.get(mid, 0.0) + 4.0 * h / 6.0
+                weights[b] = weights.get(b, 0.0) + h / 6.0
+            else:
+                weights[a] = weights.get(a, 0.0) + 0.5 * h
+                weights[b] = weights.get(b, 0.0) + 0.5 * h
+        pts = np.array(sorted(weights))
+        return EnergyGrid(pts, np.array([weights[p] for p in pts]))
+
+    # -- callable driver -----------------------------------------------
+
+    def refine(
+        self,
+        integrand: Callable[[float], float],
+        max_passes: int | None = None,
+    ) -> EnergyGrid:
         """Refine until the error estimate falls below ``tol`` everywhere.
 
-        Returns the final :class:`EnergyGrid`; sampled values are available
-        via :meth:`sampled_values`.
+        A thin driver over the wave engine: each wave's nodes are looked
+        up in :attr:`samples` first, so the integrand is charged exactly
+        once per unique energy — even across repeated :meth:`refine`
+        calls on the same object (:attr:`n_evaluations` counts actual
+        invocations).  Returns the final :class:`EnergyGrid`; sampled
+        values are available via :meth:`sampled_values`.
         """
-        energies = set(np.linspace(self.emin, self.emax, self.n_initial))
-        for e in energies:
-            if e not in self.samples:
+        if max_passes is not None:
+            self.max_passes = int(max_passes)
+        wave = self.first_wave()
+        while wave:
+            for e in wave:
+                if e in self.samples:
+                    continue  # memoized: never re-evaluate a solved node
                 self.samples[e] = float(integrand(e))
-        pts = sorted(energies)
-        active = list(zip(pts[:-1], pts[1:]))
-        for _ in range(max_passes):
-            if not active or len(energies) >= self.max_points:
-                break
-            next_active: list[tuple[float, float]] = []
-            for a, b in active:
-                mid = 0.5 * (a + b)
-                if mid not in self.samples:
-                    self.samples[mid] = float(integrand(mid))
-                interp = 0.5 * (self.samples[a] + self.samples[b])
-                if abs(self.samples[mid] - interp) > self.tol:
-                    energies.add(mid)
-                    next_active.append((a, mid))
-                    next_active.append((mid, b))
-                    if len(energies) >= self.max_points:
-                        break
-            active = next_active
-        pts_arr = np.array(sorted(energies))
-        return EnergyGrid(pts_arr, trapezoid_weights(pts_arr))
+                self.n_evaluations += 1
+            wave = self.next_wave()
+        return self.grid()
 
     def sampled_values(self, grid: EnergyGrid) -> np.ndarray:
         """Cached integrand values at the nodes of ``grid``."""

@@ -432,6 +432,56 @@ def _stage_poisson(built, backend, workers):
     )
 
 
+@_stage("adaptive-wave-crash")
+def _stage_adaptive_wave(built, backend, workers):
+    """An energy node dying mid-wave during adaptive refinement.
+
+    A persistent NaN planted on one seed node of the adaptive quadrature
+    must route through the per-point degradation ladder and end in
+    quarantine: the wave engine retires the intervals touching the dead
+    node, the node never reaches the final grid, and refinement
+    converges on the survivors instead of pinning on the unsolvable
+    point.  The solve must finish finite with the exclusion accounted in
+    both the degradation report and the ``adaptive`` stats.
+    """
+    potential = np.zeros(built.n_atoms)
+    probe = _calc(built, backend, workers, energy_mode="adaptive")
+    grid = probe.energy_grid(potential, 0.1)
+    n_initial = max(13 // 2, 9)  # _calc solves n_energy=13
+    seed = np.linspace(grid.energies.min(), grid.energies.max(), n_initial)
+    e_bad = float(seed[4])
+    injector = FaultInjector(
+        plan={("energy", (0, e_bad)): "nan"}, once=False
+    )
+    calc = _calc(
+        built, backend, workers, injector=injector,
+        energy_mode="adaptive", adaptive_tol=0.05,
+    )
+    res = calc.solve_bias(potential, 0.1)
+    completed = np.all(np.isfinite(res.transmission)) and np.isfinite(
+        res.current_a
+    )
+    stats = res.adaptive or {}
+    d = res.degradation
+    quarantined = d is not None and (0, e_bad) in d.quarantined_points
+    excluded = stats.get("excluded", 0) >= 1
+    converged = stats.get("waves", 0) >= 1 and not stats.get(
+        "budget_hits", 0
+    )
+    accounted = d.total_events if d else 0
+    return ChaosStageResult(
+        name="adaptive-wave-crash",
+        ok=(
+            bool(completed) and quarantined and excluded and converged
+            and accounted >= injector.n_injected > 0
+        ),
+        injected=injector.n_injected,
+        accounted=accounted,
+        completed=bool(completed),
+        detail="" if quarantined and excluded else f"adaptive={stats}",
+    )
+
+
 def _noop(x):
     """Picklable no-op used to warm process pools."""
     return x
@@ -446,6 +496,7 @@ _STAGES = (
     _stage_worker_hang,
     _stage_zero_copy,
     _stage_poisson,
+    _stage_adaptive_wave,
 )
 
 

@@ -20,7 +20,11 @@ def system():
         material_params={"m_rel": 0.3},
     )
     built = build_device(spec)
-    tc = TransportCalculation(built, method="wf", n_energy=21)
+    # the SPMD driver tiles a fixed uniform grid across ranks, so its
+    # serial reference must not adaptively refine ($REPRO_ADAPTIVE)
+    tc = TransportCalculation(
+        built, method="wf", n_energy=21, energy_mode="uniform",
+    )
     return built, tc
 
 

@@ -29,7 +29,8 @@ from repro.tb import (
     build_device_hamiltonian,
     single_band_material,
 )
-from repro.physics.grids import uniform_grid
+from repro.core import DeviceSpec, TransportCalculation, build_device
+from repro.physics.grids import AdaptiveEnergyGrid, uniform_grid
 from repro.tb.chain import chain_blocks
 from repro.wf import WFSolver
 
@@ -224,3 +225,106 @@ def test_batched_channel_counts_match_per_point():
     ):
         assert p.n_channels_left == b.n_channels_left
         assert p.n_channels_right == b.n_channels_right
+
+
+# ---------------------------------------------------------------------------
+# adaptive refinement vs the dense oracle
+# ---------------------------------------------------------------------------
+
+ADAPTIVE_CASES = [("chain", 1), ("grid", 2), ("random", 3), ("chain", 5)]
+
+
+@pytest.mark.parametrize(
+    "kind,seed", ADAPTIVE_CASES, ids=[f"{k}-{s}" for k, s in ADAPTIVE_CASES]
+)
+def test_adaptive_nodes_match_dense(kind, seed):
+    """Every energy the wave engine solves agrees with dense inversion.
+
+    Refinement places its own nodes, so the oracle is evaluated at the
+    refined node set rather than a fixed grid — the contract is that the
+    adaptive path introduces no error of its own: transmission at every
+    accepted node matches ``dense_observables`` to 1e-10, hence the
+    adaptive quadrature equals the dense quadrature over the same nodes
+    bit-for-bit.
+    """
+    H, energies = _build(kind, seed)
+    rgf = RGFSolver(H, eta=ETA)
+    refiner = AdaptiveEnergyGrid(
+        float(energies[0]), float(energies[-1]),
+        n_initial=7, tol=5e-3, max_points=256,
+    )
+    grid = refiner.refine(lambda e: float(rgf.solve(float(e)).transmission))
+    t_adaptive = refiner.sampled_values(grid)
+
+    lead_l = (H.diagonal[0], H.upper[0])
+    lead_r = (H.diagonal[-1], H.upper[-1])
+    t_dense = np.array([
+        dense_observables(H, float(e), lead_l, lead_r, eta=ETA)["transmission"]
+        for e in grid.energies
+    ])
+    np.testing.assert_allclose(
+        t_adaptive, t_dense, atol=TOL, rtol=0.0,
+        err_msg=f"{kind}-{seed}: adaptive node transmission",
+    )
+    assert grid.integrate(t_adaptive) == grid.integrate(t_dense) or (
+        abs(grid.integrate(t_adaptive) - grid.integrate(t_dense))
+        <= TOL * grid.weights.sum()
+    )
+
+
+ADAPTIVE_DEVICES = [
+    DeviceSpec(n_x=6, n_y=2, n_z=1, spacing_nm=0.25, source_cells=2,
+               drain_cells=2, gate_cells=(2, 4), donor_density_nm3=0.05,
+               material_params={"m_rel": 0.3}),
+    DeviceSpec(n_x=8, n_y=2, n_z=1, spacing_nm=0.25, source_cells=2,
+               drain_cells=2, gate_cells=(3, 5), donor_density_nm3=0.05,
+               material_params={"m_rel": 0.2}),
+    DeviceSpec(n_x=6, n_y=1, n_z=2, spacing_nm=0.3, source_cells=2,
+               drain_cells=2, gate_cells=(2, 4), donor_density_nm3=0.08,
+               material_params={"m_rel": 0.5}),
+    DeviceSpec(n_x=7, n_y=2, n_z=2, spacing_nm=0.25, source_cells=2,
+               drain_cells=2, gate_cells=(3, 5), donor_density_nm3=0.05,
+               material_params={"m_rel": 0.3}),
+]
+
+
+@pytest.mark.parametrize("idx", range(len(ADAPTIVE_DEVICES)))
+def test_adaptive_bit_identical_across_backends(idx):
+    """Adaptive transport is bit-identical on all four execution paths.
+
+    Refinement decisions are made in the parent from round-tripped
+    float64 results, so serial / thread / process / process+zero-copy
+    must produce the same node set, the same transmission and the same
+    current down to the last bit — not merely within tolerance.
+    """
+    built = build_device(ADAPTIVE_DEVICES[idx])
+    pot = np.zeros(built.n_atoms)
+
+    def run(backend, workers=None, zero_copy=False):
+        tc = TransportCalculation(
+            built, method="rgf", n_energy=11, backend=backend,
+            workers=workers, zero_copy=zero_copy, sigma_cache=True,
+            energy_mode="adaptive", adaptive_tol=0.05,
+        )
+        return tc.solve_bias(pot, 0.05)
+
+    ref = run("serial")
+    assert ref.adaptive is not None and ref.adaptive["nodes"] >= 2
+    for backend, zero_copy in (
+        ("thread", False), ("process", False), ("process", True),
+    ):
+        res = run(backend, workers=2, zero_copy=zero_copy)
+        np.testing.assert_array_equal(
+            res.energy_grid.energies, ref.energy_grid.energies,
+            err_msg=f"device {idx}: {backend} zc={zero_copy} grid",
+        )
+        np.testing.assert_array_equal(
+            res.transmission, ref.transmission,
+            err_msg=f"device {idx}: {backend} zc={zero_copy} transmission",
+        )
+        np.testing.assert_array_equal(
+            res.density_per_atom, ref.density_per_atom,
+            err_msg=f"device {idx}: {backend} zc={zero_copy} density",
+        )
+        assert res.current_a == ref.current_a
+        assert res.adaptive == ref.adaptive

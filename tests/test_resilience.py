@@ -714,13 +714,18 @@ class TestDegradationLadder:
     def test_persistent_fault_quarantined_and_reweighted(self, system):
         built, _ = system
         pot = np.zeros(built.n_atoms)
-        probe = TransportCalculation(built, method="wf", n_energy=21)
+        # pinned uniform: the fault keys off a node of the 21-point
+        # uniform grid, which the adaptive seed would never visit
+        probe = TransportCalculation(
+            built, method="wf", n_energy=21, energy_mode="uniform"
+        )
         e_bad = float(probe.energy_grid(pot, 0.1).energies[4])
         inj = FaultInjector(
             plan={("energy", (0, e_bad)): "nan"}, once=False
         )
         tc = TransportCalculation(
-            built, method="wf", n_energy=21, injector=inj
+            built, method="wf", n_energy=21, injector=inj,
+            energy_mode="uniform",
         )
         res = tc.solve_bias(pot, 0.1)
         assert np.isfinite(res.current_a)
@@ -736,7 +741,9 @@ class TestDegradationLadder:
     def test_blown_budget_raises_typed(self, system):
         built, _ = system
         pot = np.zeros(built.n_atoms)
-        probe = TransportCalculation(built, method="wf", n_energy=21)
+        probe = TransportCalculation(
+            built, method="wf", n_energy=21, energy_mode="uniform"
+        )
         energies = probe.energy_grid(pot, 0.1).energies[4:6]
         inj = FaultInjector(
             plan={("energy", (0, float(e))): "nan" for e in energies},
@@ -744,6 +751,7 @@ class TestDegradationLadder:
         )
         tc = TransportCalculation(
             built, method="wf", n_energy=21, injector=inj,
+            energy_mode="uniform",
             degradation_budget=DegradationBudget(max_quarantined_points=1),
         )
         with pytest.raises(DegradationBudgetError):
@@ -828,3 +836,106 @@ class TestDegradationPlumbing:
             [0.0], v_drain=0.05
         )
         assert curve.degradation.total_events == 0
+
+
+class TestAdaptiveWaveFaults:
+    """Fault routing inside the adaptive refinement waves."""
+
+    def _seed_node(self, tc, pot, bias, n_energy=21, index=4):
+        """One of the wave-0 seed nodes the refiner is guaranteed to visit."""
+        grid = tc.energy_grid(pot, bias)
+        n_initial = max(n_energy // 2, 9)
+        seed = np.linspace(
+            grid.energies.min(), grid.energies.max(), n_initial
+        )
+        return float(seed[index])
+
+    def test_transient_wave_fault_healed_bit_identically(self, system):
+        """A transient energy fault inside a wave takes the per-point
+        ladder and heals: the refined result equals the clean run bit
+        for bit, so the fault never influenced a refinement decision."""
+        built, _ = system
+        pot = np.zeros(built.n_atoms)
+        clean_tc = TransportCalculation(
+            built, method="wf", n_energy=21,
+            energy_mode="adaptive", adaptive_tol=0.05,
+        )
+        clean = clean_tc.solve_bias(pot, 0.1)
+        e_bad = self._seed_node(clean_tc, pot, 0.1)
+        inj = FaultInjector(plan={("energy", (0, e_bad)): "nan"})
+        healed = TransportCalculation(
+            built, method="wf", n_energy=21, injector=inj,
+            energy_mode="adaptive", adaptive_tol=0.05,
+        ).solve_bias(pot, 0.1)
+        assert inj.count("nan") == 1
+        np.testing.assert_array_equal(
+            healed.transmission, clean.transmission
+        )
+        assert healed.current_a == clean.current_a
+        assert healed.adaptive == clean.adaptive
+        d = healed.degradation
+        assert sum(
+            v for k, v in d.ladder_steps.items() if k.startswith("per-point")
+        ) >= 1 or d.ladder_steps.get("dense-oracle", 0) >= 1
+        assert not d.quarantined_points
+
+    def test_persistent_wave_fault_quarantines_node(self, system):
+        """A persistent fault quarantines the node: the wave engine
+        retires its intervals instead of pinning refinement, and the
+        exclusion is accounted in both reports."""
+        built, _ = system
+        pot = np.zeros(built.n_atoms)
+        tc = TransportCalculation(
+            built, method="wf", n_energy=21,
+            energy_mode="adaptive", adaptive_tol=0.05,
+        )
+        e_bad = self._seed_node(tc, pot, 0.1)
+        inj = FaultInjector(
+            plan={("energy", (0, e_bad)): "nan"}, once=False
+        )
+        res = TransportCalculation(
+            built, method="wf", n_energy=21, injector=inj,
+            energy_mode="adaptive", adaptive_tol=0.05,
+        ).solve_bias(pot, 0.1)
+        assert np.isfinite(res.current_a)
+        assert np.all(np.isfinite(res.transmission))
+        stats = res.adaptive
+        assert stats["excluded"] == 1
+        assert stats["waves"] >= 1, "quarantine pinned refinement"
+        assert not stats["budget_hits"]
+        d = res.degradation
+        assert d.quarantined_points == [(0, e_bad)]
+        assert d.reweighted_grids == 1
+        assert d.ladder_steps.get("quadrature:reweight", 0) == 1
+        # every ladder rung re-fired the persistent fault before quarantine
+        assert inj.count("nan") >= 3
+
+    def test_quarantine_blows_budget_typed(self, system):
+        """Exceeding the degradation budget inside adaptive refinement
+        raises the typed budget error, not a silent thin grid."""
+        built, _ = system
+        pot = np.zeros(built.n_atoms)
+        tc = TransportCalculation(
+            built, method="wf", n_energy=21,
+            energy_mode="adaptive", adaptive_tol=0.05,
+        )
+        e_bad = self._seed_node(tc, pot, 0.1)
+        inj = FaultInjector(
+            plan={("energy", (0, e_bad)): "nan"}, once=False
+        )
+        bad = TransportCalculation(
+            built, method="wf", n_energy=21, injector=inj,
+            energy_mode="adaptive", adaptive_tol=0.05,
+            degradation_budget=DegradationBudget(max_quarantined_points=0),
+        )
+        with pytest.raises(DegradationBudgetError):
+            bad.solve_bias(pot, 0.1)
+
+    def test_chaos_campaign_has_adaptive_stage(self):
+        from repro.resilience.chaos import run_campaign
+
+        campaign = run_campaign(
+            backend="serial", stages=["adaptive-wave-crash"]
+        )
+        assert [s.name for s in campaign.stages] == ["adaptive-wave-crash"]
+        assert campaign.passed

@@ -232,6 +232,45 @@ class TestCrossBackendExactness:
                  if "rank" in s.attrs}
         assert ranks == {0, 1, 2, 3}
 
+    @pytest.mark.parametrize("backend,zero_copy", [
+        ("thread", False),
+        ("process", False),
+        ("process", True),
+    ])
+    def test_adaptive_merged_totals_match_serial(self, built, backend,
+                                                 zero_copy):
+        """Adaptive waves lose nothing in merge-back: ``adaptive.*`` and
+        ``flops.*`` totals equal the serial run exactly on every backend."""
+
+        def run(bk, workers=None, zc=False):
+            tc = TransportCalculation(
+                built, method="rgf", n_energy=21, backend=bk,
+                workers=workers, sigma_cache=True, zero_copy=zc,
+                energy_mode="adaptive", adaptive_tol=0.05,
+            )
+            tracer, registry = Tracer(), MetricsRegistry()
+            with use_tracer(tracer), use_metrics(registry):
+                result = tc.solve_bias(np.zeros(built.n_atoms), 0.05)
+            return result, tracer, registry.snapshot()
+
+        ref, ref_tracer, ref_snap = run("serial")
+        res, tracer, snap = run(backend, workers=2, zc=zero_copy)
+        assert res.adaptive == ref.adaptive
+        assert dict(tracer.counter.counts) == dict(
+            ref_tracer.counter.counts
+        )
+        assert sum(ref_tracer.counter.counts.values()) > 0
+
+        def adaptive_counters(s):
+            return {k: v for k, v in s.counters.items()
+                    if k.startswith("adaptive.")}
+
+        assert adaptive_counters(snap) == adaptive_counters(ref_snap)
+        assert adaptive_counters(ref_snap), "no adaptive.* counters recorded"
+        assert snap.gauges.get("adaptive.est_error") == ref_snap.gauges.get(
+            "adaptive.est_error"
+        )
+
 
 # ---------------------------------------------------------------------------
 # unified Chrome traces
@@ -481,6 +520,6 @@ class TestEventStreamIntegration:
 
     def test_event_types_closed_set(self):
         assert EVENT_TYPES == (
-            "run_started", "heartbeat", "point_done", "degradation",
-            "straggler", "chunk_retired", "run_finished",
+            "run_started", "heartbeat", "point_done", "wave_done",
+            "degradation", "straggler", "chunk_retired", "run_finished",
         )
