@@ -49,6 +49,7 @@ PRODUCERS = [
     ("benchmarks/bench_t5_ipc.py --smoke", "BENCH_ipc.json"),
     ("benchmarks/bench_t6_telemetry.py --smoke", "BENCH_telemetry.json"),
     ("benchmarks/bench_t7_adaptive.py --smoke", "BENCH_adaptive.json"),
+    ("benchmarks/bench_t8_precision.py --smoke", "BENCH_precision.json"),
 ]
 
 #: Machine-dependent fields ignored by ``--check`` (warn-only in the gate).

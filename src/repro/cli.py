@@ -180,6 +180,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "and SCF iterations (invalidated on potential updates)",
         )
         p.add_argument(
+            "--precision", choices=("fp64", "mixed", "fp32"),
+            default=None,
+            help="numeric mode of the RGF kernel: fp64 (default; "
+                 "$REPRO_PRECISION), mixed (complex64 factors + fp64 "
+                 "iterative refinement, FP64 escalation on stall), or "
+                 "fp32 (pure complex64 screening)",
+        )
+        p.add_argument(
             "--zero-copy", action="store_true",
             help="publish per-bias solve state once into shared memory "
                  "so process-backend tasks ship only (plan_id, slots) "
@@ -393,6 +401,7 @@ def _backend_kwargs(args) -> dict:
         "workers": getattr(args, "workers", None),
         "batch_energies": bool(getattr(args, "batch_energies", False)),
         "sigma_cache": True if getattr(args, "cache_sigma", False) else None,
+        "precision": getattr(args, "precision", None),
     }
     if getattr(args, "zero_copy", False):
         # only an explicit flag overrides; otherwise the calculation
@@ -423,7 +432,8 @@ def _cmd_simulate(args) -> int:
     with _tracing(args.trace, "simulate") as tracer, \
             _metering(args.metrics) as registry, \
             _eventing(args.events, "simulate", spec=args.spec,
-                      backend=args.backend) as events:
+                      backend=args.backend,
+                      precision=getattr(args, "precision", None)) as events:
         if events is not None:
             events.run_started(total=1, v_gate=args.vg, v_drain=args.vd)
         result = scf.run(args.vg, args.vd)
@@ -497,6 +507,7 @@ def _cmd_sweep(args) -> int:
     with _tracing(args.trace, "sweep") as tracer, \
             _metering(args.metrics) as registry, \
             _eventing(args.events, "sweep", spec=args.spec,
+                      precision=getattr(args, "precision", None),
                       backend=args.backend):
         # the sweep loop itself emits run_started/point_done/run_finished
         # through the installed writer (see IVSweep._sweep)
@@ -790,6 +801,40 @@ def _cmd_doctor(args) -> int:
         title="zero-copy ipc probe (plan accounting of the probe bias)",
     ))
 
+    # --- mixed-precision probe ----------------------------------------
+    # Re-solve the probe bias in precision="mixed" (RGF only) under a
+    # fresh registry: the precision.* family — refinement iterations,
+    # residual backward errors, certified points, FP64 escalations —
+    # flows through the same telemetry merge-back as every other metric,
+    # so the counters printed here are exact on any backend.
+    if args.method == "rgf":
+        prec_registry = MetricsRegistry()
+        probe_mx = TransportCalculation(
+            built, method="rgf", n_energy=11,
+            backend="serial", batch_energies=True, precision="mixed",
+        )
+        with use_metrics(prec_registry):
+            probe_mx.solve_bias(pot_probe, args.vd, energy_grid=probe_grid)
+        prec = prec_registry.snapshot()
+        prec_flat = prec.flat()
+        print(format_table(
+            ["metric", "value"],
+            [
+                ("points certified",
+                 int(prec.total("precision.points_certified"))),
+                ("fp64 escalations",
+                 int(prec.total("precision.fp64_escalations"))),
+                ("refine iterations (mean)", "%.2f" % prec_flat.get(
+                    "precision.refine_iterations.mean", 0.0)),
+                ("backward error (mean)", "%.2e" % prec_flat.get(
+                    "precision.residual.mean", 0.0)),
+                ("refine stalls",
+                 int(prec.total("precision.refine_stalls"))),
+            ],
+            title="mixed-precision probe (same bias, complex64 + "
+                  "fp64 refinement)",
+        ))
+
     # --- perf-regression gate against the committed baseline ----------
     baseline_dir = args.baselines or _default_baseline_dir()
     report = check_against_baselines(
@@ -961,6 +1006,14 @@ def _cmd_scaling(args) -> int:
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if (getattr(args, "precision", None) not in (None, "fp64")
+            and getattr(args, "method", "rgf") != "rgf"):
+        print(
+            f"--precision {args.precision} requires --method rgf "
+            "(the WF kernel has no reduced-precision path)",
+            file=sys.stderr,
+        )
+        return 2
     handler = {
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,

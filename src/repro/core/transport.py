@@ -33,6 +33,7 @@ from ..observability.telemetry import (
 )
 from ..observability.tracer import trace_span
 from ..parallel.backend import SelfEnergyCache, get_backend
+from ..solvers.precision import precision_from_env, resolve_precision
 from ..parallel.plan import (
     DevicePlan,
     PlanCapacityError,
@@ -190,6 +191,21 @@ class TransportCalculation:
         fall back to the legacy path.  The adaptive energy mode
         publishes its plan with reserved slot capacity and appends each
         refinement wave's nodes in place (no republish per wave).
+    precision : {"fp64", "mixed", "fp32"} or None
+        Numeric execution mode of the transport kernel (RGF only).
+        ``"fp64"`` is the historical bit-identical complex128 path.
+        ``"mixed"`` factors in complex64 and certifies every energy with
+        double-precision iterative refinement to the backward-error
+        target; uncertifiable energies escalate to a full-FP64 re-solve
+        (bit-identical to a pure-FP64 run) before the degradation ladder
+        is consulted.  ``"fp32"`` is pure complex64 screening: loose
+        tolerance, half-size zero-copy plans and result arenas.  None
+        reads ``$REPRO_PRECISION`` (default fp64).
+    refine_faults : iterable of float or None
+        Chaos-campaign hook: mixed-mode energies in this set are treated
+        as deterministic refinement stalls (escalated with
+        ``injected=True``), exercising the FP64 escalation path without
+        perturbing any operator.
     """
 
     def __init__(
@@ -211,9 +227,28 @@ class TransportCalculation:
         injector=None,
         degradation_budget=None,
         zero_copy=None,
+        precision=None,
+        refine_faults=None,
     ):
         if method not in ("wf", "rgf"):
             raise ValueError("method must be 'wf' or 'rgf'")
+        if precision is None:
+            # $REPRO_PRECISION is a preference, not a command: a WF
+            # calculation under a fleet-wide mixed-precision default
+            # quietly keeps its FP64 kernels
+            self.precision = precision_from_env() if method == "rgf" else "fp64"
+        else:
+            self.precision = resolve_precision(precision)
+            if self.precision != "fp64" and method != "rgf":
+                raise ValueError(
+                    f"precision={self.precision!r} requires method='rgf' "
+                    "(the WF kernel's sparse/banded factorisations gain "
+                    "nothing from complex64)"
+                )
+        self.refine_faults = (
+            tuple(sorted(float(e) for e in refine_faults))
+            if refine_faults else ()
+        )
         if energy_mode is None:
             energy_mode = "adaptive" if adaptive_enabled() else "uniform"
         if energy_mode not in ("uniform", "adaptive"):
@@ -301,12 +336,15 @@ class TransportCalculation:
             band_bottom=bottom,
         )
 
-    def _make_solver(self, H, surface_method: str | None = None):
+    def _make_solver(self, H, surface_method: str | None = None,
+                     precision: str | None = None):
         method = surface_method or self.surface_method
         if self.method == "rgf":
             return RGFSolver(
                 H, eta=self.eta, surface_method=method,
                 sigma_cache=self.sigma_cache,
+                precision=precision or self.precision,
+                refine_faults=self.refine_faults or None,
             )
         return WFSolver(
             H, eta=self.eta, surface_method=method,
@@ -334,6 +372,11 @@ class TransportCalculation:
         quarantine (returns None).  Strict mode takes the plain solve and
         lets every error propagate; with the sentinel off and no injector
         this *is* the plain solve (bit-identical clean path).
+
+        Mixed-precision escalation sits *before* the ladder: the solver's
+        ``solve_escalating`` re-solves an uncertified energy on its FP64
+        twin (bit-identical to a pure-FP64 run), and only a failure of
+        that full-precision solve climbs the rungs.
         """
         injector = self.injector
 
@@ -345,12 +388,14 @@ class TransportCalculation:
                 return None
             return injector.fire("energy", (ik, float(e)))
 
+        point_solve = getattr(solver, "solve_escalating", solver.solve)
+
         if not sentinel.enabled and injector is None:
-            return solver.solve(e)
+            return point_solve(e)
 
         if sentinel.strict:
             mode = fire()
-            res = solver.solve(e)
+            res = point_solve(e)
             if mode == "nan":
                 res = nan_like(res)
             if non_finite(res):
@@ -364,7 +409,7 @@ class TransportCalculation:
         try:
             marker = sentinel.marker()
             mode = fire()
-            res = solver.solve(e)
+            res = point_solve(e)
             if mode == "nan":
                 res = nan_like(res)
             if not non_finite(res) and not sentinel.trips_since(marker):
@@ -386,8 +431,11 @@ class TransportCalculation:
             H2 = self.hamiltonian(potential_ev, k)
             if mode in ("nan", "illcond"):
                 H2 = corrupt_hamiltonian(H2, mode)
+            # keep the calculation's precision: the healed solve must be
+            # bit-identical to the clean one, and mixed mode carries its
+            # own FP64 condition-gate escalation
             robust = self._make_solver(H2, surface_method="robust")
-            res = robust.solve(e)
+            res = getattr(robust, "solve_escalating", robust.solve)(e)
             if mode == "nan":
                 res = nan_like(res)
             if not non_finite(res):
@@ -468,10 +516,24 @@ class TransportCalculation:
                 dtype=float,
             )
         }
+        # fp32 screening publishes the rounded complex64 operator — the
+        # very blocks the solver would round to anyway — halving
+        # ``ipc.plan_bytes``; mixed mode ships full fp64 blocks because
+        # its refinement residuals are measured against the exact
+        # operator (a split representation would cost the same bytes)
+        block_dtype = (
+            np.complex64 if self.precision == "fp32" else None
+        )
         for i, block in enumerate(H.diagonal):
-            arrays[f"diag{i}"] = block
+            arrays[f"diag{i}"] = (
+                block if block_dtype is None
+                else np.ascontiguousarray(block, dtype=block_dtype)
+            )
         for i, block in enumerate(H.upper):
-            arrays[f"upper{i}"] = block
+            arrays[f"upper{i}"] = (
+                block if block_dtype is None
+                else np.ascontiguousarray(block, dtype=block_dtype)
+            )
         plan = DevicePlan.publish(
             arrays,
             meta={
@@ -483,6 +545,8 @@ class TransportCalculation:
                 "n_tot": int(H.total_size),
                 "use_cache": self.sigma_cache is not None,
                 "potential_fp": potential_fp,
+                "precision": self.precision,
+                "refine_faults": self.refine_faults,
             },
             mode=mode,
             reserve=reserve,
@@ -493,6 +557,13 @@ class TransportCalculation:
             # would have carried
             plan._local_sigma_cache = self.sigma_cache
         return plan
+
+    def _arena_dtype(self):
+        """Result-arena row dtype: float32 rows for the fp32 screening
+        mode (half the shared memory; every solved field of a complex64
+        run is float32-representable, only the stored energy tag
+        rounds), float64 — bitwise round-trip — for fp64 and mixed."""
+        return np.float32 if self.precision == "fp32" else np.float64
 
     def _run_plan_chunks(self, plan, energies, chunks, backend, grid,
                          capture: bool = False, arena=None, slots=None):
@@ -527,6 +598,7 @@ class TransportCalculation:
                 len(grid.energies),
                 slot_width(meta["n_tot"], meta["n_blocks"]),
                 mode="shared",
+                dtype=self._arena_dtype(),
             )
         sidecar = (
             TelemetrySidecar.allocate(len(chunks), mode="shared")
@@ -785,6 +857,7 @@ class TransportCalculation:
                             plan.meta["n_tot"], plan.meta["n_blocks"]
                         ),
                         mode="shared",
+                        dtype=self._arena_dtype(),
                     )
             while wave:
                 n_waves += 1
@@ -1201,14 +1274,22 @@ def _in_worker() -> bool:
 
 
 def _solve_chunk_body(solver, energies, batched, injector, chunk_id):
-    """Solve one energy chunk (shared by all payload variants)."""
+    """Solve one energy chunk (shared by all payload variants).
+
+    Mixed-precision solvers expose ``solve_escalating`` /
+    ``solve_batch_escalating``: energies whose refinement cannot be
+    certified are re-solved on the FP64 twin right here, so escalation
+    counters are charged exactly once wherever the chunk runs.
+    """
     mode = None
     if injector is not None and _in_worker():
         mode = injector.fire("worker", chunk_id)
     if batched:
-        results = solver.solve_batch(energies)
+        batch = getattr(solver, "solve_batch_escalating", solver.solve_batch)
+        results = batch(energies)
     else:
-        results = [solver.solve(float(e)) for e in energies]
+        point = getattr(solver, "solve_escalating", solver.solve)
+        results = [point(float(e)) for e in energies]
     if mode == "nan":
         results = [nan_like(r) for r in results]
     return results

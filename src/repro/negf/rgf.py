@@ -21,10 +21,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import PrecisionEscalationError
 from ..observability.invariants import get_monitor
+from ..observability.metrics import get_metrics
 from ..observability.tracer import trace_span
 from ..resilience.health import get_sentinel
 from ..solvers.block_tridiagonal import BatchedBlockTridiagLU, BlockTridiagLU
+from ..solvers.precision import (
+    W_TOL,
+    refined_sliver_solve,
+    resolve_precision,
+)
 from ..tb.hamiltonian import BlockTridiagonalHamiltonian
 from .self_energy import (
     LeadSelfEnergy,
@@ -32,7 +39,87 @@ from .self_energy import (
     contact_self_energy_batch,
 )
 
-__all__ = ["RGFResult", "RGFSolver", "assemble_system_blocks"]
+__all__ = [
+    "RGFResult",
+    "RGFSolver",
+    "assemble_system_blocks",
+    "injection_slivers",
+]
+
+
+def injection_slivers(gamma_stack: np.ndarray, tol: float = W_TOL) -> list:
+    """Per-slice injection slivers ``W_b`` with ``Gamma_b ~ W_b W_b^+``.
+
+    Batched eigendecomposition of the broadening stacks; eigenpairs
+    below ``tol * lambda_max`` (finite-eta leakage of closed channels,
+    not physics) are dropped.  Returns one 2-D ``(m, c_b)`` array per
+    slice — widths deliberately stay ragged, because BLAS GEMM results
+    are *not* bitwise invariant under right-hand-side column count
+    (packing/blocking), so zero-padding to a common width would make
+    per-slice results depend on which energies share a chunk.  Callers
+    group slices of equal width instead.  A slice with no channel above
+    the cutoff gets a single zero column (all its observables are exact
+    zeros).
+    """
+    ev, vec = np.linalg.eigh(gamma_stack)
+    scale = np.maximum(ev.max(axis=1), 1e-300)
+    keep = ev > tol * scale[:, None]
+    m = ev.shape[1]
+    out = []
+    for b in range(ev.shape[0]):
+        idx = np.flatnonzero(keep[b])
+        if idx.size:
+            out.append(
+                np.ascontiguousarray(
+                    vec[b][:, idx] * np.sqrt(ev[b][idx])[None, :]
+                )
+            )
+        else:
+            out.append(np.zeros((m, 1), dtype=vec.dtype))
+    return out
+
+
+def _grouped_refine(lu32, diag64, upper64, lower64, j, w_list, diag32):
+    """Refined sliver solves grouped by injection width.
+
+    Partitions the batch into groups of equal sliver column count (a
+    deterministic per-slice property of Gamma) and runs one
+    :func:`~repro.solvers.precision.refined_sliver_solve` per group at
+    exactly that width — the construction that keeps every slice's
+    result bitwise independent of which energies share a chunk.
+
+    Returns ``(x_front, row_norms, escalate, reasons)``: the block-0
+    solution column per slice (feeds the transmission product), the
+    per-slice concatenated row norms ``sum_c |x_i|^2`` (the spectral
+    density up to ``1/2pi``), and the per-slice escalation flags and
+    reason strings.
+    """
+    n_batch = len(w_list)
+    widths = [w.shape[1] for w in w_list]
+    total_m = int(np.sum(lu32.sizes))
+    row_norms = np.empty((n_batch, total_m))
+    x_front: list = [None] * n_batch
+    escalate = np.zeros(n_batch, dtype=bool)
+    reasons = np.empty(n_batch, dtype=object)
+    reasons[:] = ""
+    for c in sorted(set(widths)):
+        idx = np.array(
+            [b for b in range(n_batch) if widths[b] == c], dtype=np.intp
+        )
+        rhs = np.stack([w_list[b] for b in idx])
+        ref = refined_sliver_solve(
+            lu32, diag64, upper64, lower64, j, rhs,
+            diag32=diag32, take=idx,
+        )
+        row_norms[idx] = np.concatenate(
+            [np.add.reduce(np.abs(xi) ** 2, axis=2) for xi in ref.x],
+            axis=1,
+        )
+        for k, b in enumerate(idx):
+            x_front[b] = ref.x[0][k]
+        escalate[idx] = ref.escalate
+        reasons[idx] = ref.reasons
+    return x_front, row_norms, escalate, reasons
 
 
 def assemble_system_blocks(
@@ -108,6 +195,24 @@ class RGFSolver:
         :class:`repro.parallel.DevicePlan` fingerprint — so workers
         rebuilt from published blocks skip re-hashing the lead bytes.
         None hashes the lead blocks as usual.
+    precision : {"fp64", "mixed", "fp32"} or None
+        Numeric execution mode.  ``None``/``"fp64"`` is the historical
+        complex128 path, bit-identical to every prior release.
+        ``"mixed"`` factors in complex64 and certifies each energy with
+        double-precision iterative refinement (sliver observables;
+        self-energies stay fp64); uncertifiable energies come back as
+        ``None`` from :meth:`solve_batch` and raise
+        :class:`~repro.errors.PrecisionEscalationError` from
+        :meth:`solve` so the caller's degradation ladder re-solves them
+        on the FP64 path.  ``"fp32"`` is pure complex64 screening
+        (including the decimation) with no certification.  The raw
+        solver never reads ``REPRO_PRECISION`` — only
+        :class:`~repro.core.TransportCalculation` consumes the
+        environment, mirroring ``REPRO_BACKEND``.
+    refine_faults : iterable of float or None
+        Deterministic fault injection for the chaos campaign: mixed-mode
+        energies in this set are treated as refinement stalls (escalated
+        with ``injected=True``) regardless of their actual residual.
     """
 
     def __init__(
@@ -119,12 +224,35 @@ class RGFSolver:
         surface_method: str = "sancho",
         sigma_cache=None,
         lead_tokens=None,
+        precision=None,
+        refine_faults=None,
     ):
         if hamiltonian.n_blocks < 2:
             raise ValueError("transport needs at least 2 slabs")
+        self.precision = resolve_precision(precision)
+        if self.precision == "fp32":
+            # round the operator once, up front: the screening operator
+            # *is* the complex64 Hamiltonian, so a solver built from
+            # full-precision blocks and one rebuilt from a complex64
+            # zero-copy plan see bit-identical inputs everywhere
+            hamiltonian = BlockTridiagonalHamiltonian(
+                diagonal=[
+                    np.ascontiguousarray(d, dtype=np.complex64)
+                    for d in hamiltonian.diagonal
+                ],
+                upper=[
+                    np.ascontiguousarray(u, dtype=np.complex64)
+                    for u in hamiltonian.upper
+                ],
+            )
         self.H = hamiltonian
         self.eta = eta
         self.surface_method = surface_method
+        self.refine_faults = (
+            frozenset(float(e) for e in refine_faults)
+            if refine_faults
+            else frozenset()
+        )
         self.lead_left = (
             lead_left
             if lead_left is not None
@@ -155,11 +283,13 @@ class RGFSolver:
             energy, h00_l, h01_l, side="left",
             method=self.surface_method, eta=self.eta,
             cache=self.sigma_cache, cache_token=self._token_left,
+            precision=self.precision,
         )
         sig_r = contact_self_energy(
             energy, h00_r, h01_r, side="right",
             method=self.surface_method, eta=self.eta,
             cache=self.sigma_cache, cache_token=self._token_right,
+            precision=self.precision,
         )
         return sig_l, sig_r
 
@@ -169,11 +299,13 @@ class RGFSolver:
             energies, *self.lead_left, side="left",
             method=self.surface_method, eta=self.eta,
             cache=self.sigma_cache, cache_token=self._token_left,
+            precision=self.precision,
         )
         sigs_r = contact_self_energy_batch(
             energies, *self.lead_right, side="right",
             method=self.surface_method, eta=self.eta,
             cache=self.sigma_cache, cache_token=self._token_right,
+            precision=self.precision,
         )
         return sigs_l, sigs_r
 
@@ -188,15 +320,31 @@ class RGFSolver:
         return float(t.real)
 
     def solve(self, energy: float) -> RGFResult:
-        """Full RGF solve: transmission, LDOS and contact spectral densities."""
+        """Full RGF solve: transmission, LDOS and contact spectral densities.
+
+        In ``precision="mixed"`` an uncertifiable energy raises
+        :class:`~repro.errors.PrecisionEscalationError` — the caller
+        (typically the transport degradation ladder) re-solves it on a
+        FP64 solver, bit-identically to a pure-FP64 run.
+        """
         with trace_span("rgf.solve", category="kernel", energy=float(energy)):
             return self._solve(energy)
 
     def _solve(self, energy: float) -> RGFResult:
+        if self.precision == "mixed":
+            return self._solve_point_mixed(energy)
         sig_l, sig_r = self.self_energies(energy)
         diag, upper, lower = assemble_system_blocks(
             self.H, energy, sig_l.sigma, sig_r.sigma
         )
+        if self.precision == "fp32":
+            diag = [np.ascontiguousarray(d, dtype=np.complex64) for d in diag]
+            upper = [
+                np.ascontiguousarray(u, dtype=np.complex64) for u in upper
+            ]
+            lower = [
+                np.ascontiguousarray(l, dtype=np.complex64) for l in lower
+            ]
         lu = BlockTridiagLU(diag, upper, lower)
 
         col0 = lu.solve_block_column(0)  # G_{i,0}
@@ -272,6 +420,10 @@ class RGFSolver:
         The observable reductions use batched einsum, whose summation
         order may differ from the per-point reductions in the last ulp;
         the differential suite pins agreement at 1e-10.
+
+        In ``precision="mixed"`` the returned list holds ``None`` at
+        energies whose refinement could not be certified — the caller
+        re-solves exactly those points on the FP64 path.
         """
         energies = np.asarray(energies, dtype=float).ravel()
         if energies.size == 0:
@@ -282,7 +434,66 @@ class RGFSolver:
         ):
             return self._solve_batch(energies)
 
+    # -- typed escalation to full FP64 ---------------------------------
+
+    def fp64_solver(self) -> "RGFSolver":
+        """The full-FP64 escalation twin of this solver (cached).
+
+        Shares the Hamiltonian, leads, eta, surface method and the sigma
+        cache (mixed-mode self-energies are keyed with the ``"fp64"``
+        precision token, so the twin hits the very same entries
+        bit-for-bit).  A pure-FP64 solver is its own twin.
+        """
+        if self.precision == "fp64":
+            return self
+        twin = getattr(self, "_fp64_twin", None)
+        if twin is None:
+            twin = RGFSolver(
+                self.H,
+                lead_left=self.lead_left,
+                lead_right=self.lead_right,
+                eta=self.eta,
+                surface_method=self.surface_method,
+                sigma_cache=self.sigma_cache,
+                lead_tokens=(
+                    (self._token_left, self._token_right)
+                    if self.sigma_cache is not None else None
+                ),
+                precision="fp64",
+            )
+            self._fp64_twin = twin
+        return twin
+
+    def solve_escalating(self, energy: float) -> RGFResult:
+        """:meth:`solve`, with escalated energies re-solved in FP64.
+
+        The re-solve runs wherever the escalation was detected (worker
+        or parent), so the ``precision.fp64_escalations`` counter is
+        incremented exactly once per escalated energy no matter which
+        execution backend dispatched it — and the answer is bit-identical
+        to what a pure-FP64 run produces for that energy.
+        """
+        try:
+            return self.solve(energy)
+        except PrecisionEscalationError:
+            get_metrics().inc("precision.fp64_escalations", 1.0)
+            return self.fp64_solver().solve(energy)
+
+    def solve_batch_escalating(self, energies) -> list[RGFResult]:
+        """:meth:`solve_batch`, with escalated energies re-solved in FP64."""
+        energies = np.asarray(energies, dtype=float).ravel()
+        results = self.solve_batch(energies)
+        metrics = get_metrics()
+        for i, res in enumerate(results):
+            if res is None:
+                metrics.inc("precision.fp64_escalations", 1.0)
+                results[i] = self.fp64_solver().solve(float(energies[i]))
+        return results
+
     def _solve_batch(self, energies: np.ndarray) -> list[RGFResult]:
+        if self.precision == "mixed":
+            results, _ = self._mixed_batch(energies)
+            return results
         sigs_l, sigs_r = self.self_energies_batch(energies)
         n = self.H.n_blocks
         sig_l_stack = np.stack([s.sigma for s in sigs_l])
@@ -297,6 +508,14 @@ class RGFSolver:
             diag.append(a)
         upper = [-u for u in self.H.upper]
         lower = [-u.conj().T for u in self.H.upper]
+        if self.precision == "fp32":
+            diag = [np.ascontiguousarray(d, dtype=np.complex64) for d in diag]
+            upper = [
+                np.ascontiguousarray(u, dtype=np.complex64) for u in upper
+            ]
+            lower = [
+                np.ascontiguousarray(l, dtype=np.complex64) for l in lower
+            ]
         lu = BatchedBlockTridiagLU(diag, upper, lower)
 
         col0 = lu.solve_block_column(0)  # G_{i,0} stacks
@@ -366,3 +585,158 @@ class RGFSolver:
                 )
             )
         return results
+
+    # ------------------------------------------------------------------
+    def _solve_point_mixed(self, energy: float) -> RGFResult:
+        """Scalar mixed solve = the batch-of-one mixed solve.
+
+        Every stacked kernel is per-slice bit-identical to its scalar
+        call, so this *is* the batched result for this energy under any
+        chunking — the property the cross-backend conformance suite
+        pins.  Escalation raises instead of returning None.
+        """
+        results, reasons = self._mixed_batch(np.array([float(energy)]))
+        if results[0] is None:
+            reason, injected = reasons[0]
+            raise PrecisionEscalationError(
+                f"mixed-precision refinement could not certify "
+                f"E={float(energy):.6g} ({reason})",
+                energy=float(energy),
+                reason=reason,
+                injected=injected,
+            )
+        return results[0]
+
+    def _mixed_batch(self, energies: np.ndarray):
+        """complex64 factorisation + fp64-refined sliver observables.
+
+        Per batch slice:
+
+        * self-energies stay full FP64 (shared, bit-for-bit, with the
+          FP64 cache entries — the per-kernel validation showed the
+          decimation cannot be certified in fp32),
+        * the system matrix is assembled in fp64, rounded once to
+          complex64 and factored by the batched block LU,
+        * transmission and contact spectral densities come from two
+          refined injection-sliver solves (``j=0`` with W_L, ``j=N-1``
+          with W_R): ``T = ||W_L^+ G_{0,N-1} W_R||_F^2``, spectral
+          densities are sliver row norms — certified to the
+          backward-error target by fp64 iterative refinement,
+        * the LDOS is the fp32 selected inversion (declared loose
+          tolerance; it never feeds the current integral).
+
+        Returns ``(results, reasons)`` where ``results[b]`` is None for
+        escalated slices and ``reasons[b] = (reason, injected)``.
+        """
+        energies = np.asarray(energies, dtype=float).ravel()
+        n = self.H.n_blocks
+        sigs_l, sigs_r = self.self_energies_batch(energies)
+        sig_l_stack = np.stack([s.sigma for s in sigs_l])
+        sig_r_stack = np.stack([s.sigma for s in sigs_r])
+        diag64 = []
+        for i, h in enumerate(self.H.diagonal):
+            a = energies[:, None, None] * np.eye(h.shape[0], dtype=complex) - h
+            if i == 0:
+                a = a - sig_l_stack
+            if i == n - 1:
+                a = a - sig_r_stack
+            diag64.append(a)
+        upper64 = [-u for u in self.H.upper]
+        lower64 = [-u.conj().T for u in self.H.upper]
+        diag32 = [
+            np.ascontiguousarray(d, dtype=np.complex64) for d in diag64
+        ]
+        upper32 = [
+            np.ascontiguousarray(u, dtype=np.complex64) for u in upper64
+        ]
+        lower32 = [
+            np.ascontiguousarray(l, dtype=np.complex64) for l in lower64
+        ]
+        lu32 = BatchedBlockTridiagLU(diag32, upper32, lower32)
+
+        gam_l = np.stack([s.gamma for s in sigs_l])
+        gam_r = np.stack([s.gamma for s in sigs_r])
+        w_l = injection_slivers(gam_l)
+        w_r = injection_slivers(gam_r)
+        x0_l, spectral_l, esc_l, reas_l = _grouped_refine(
+            lu32, diag64, upper64, lower64, 0, w_l, diag32
+        )
+        x0_r, spectral_r, esc_r, reas_r = _grouped_refine(
+            lu32, diag64, upper64, lower64, n - 1, w_r, diag32
+        )
+
+        # T = ||W_L^+ G_{0,N-1} W_R||_F^2; per-slice 2-D GEMMs because
+        # the sliver widths are ragged by design (see injection_slivers)
+        t = np.empty(energies.size)
+        for b in range(energies.size):
+            twl = w_l[b].conj().T @ x0_r[b]
+            t[b] = float(np.add.reduce(np.abs(twl) ** 2, axis=(0, 1)))
+        spectral_l = spectral_l / (2.0 * np.pi)
+        spectral_r = spectral_r / (2.0 * np.pi)
+        gdiag = lu32.diagonal_of_inverse()
+        dos = -np.concatenate(
+            [np.diagonal(g, axis1=1, axis2=2).imag for g in gdiag], axis=1
+        ).astype(np.float64) / np.pi
+
+        escalate = esc_l | esc_r
+        reasons = []
+        for b in range(energies.size):
+            if esc_l[b]:
+                reasons.append((str(reas_l[b]), False))
+            elif esc_r[b]:
+                reasons.append((str(reas_r[b]), False))
+            else:
+                reasons.append(("", False))
+        metrics = get_metrics()
+        if self.refine_faults:
+            for b, energy in enumerate(energies):
+                if float(energy) in self.refine_faults and not escalate[b]:
+                    escalate[b] = True
+                    reasons[b] = ("stall", True)
+                    metrics.inc("precision.injected_stalls", 1.0)
+
+        ok = ~escalate
+        sentinel = get_sentinel()
+        if sentinel.enabled and ok.any():
+            sentinel.check_finite(
+                "rgf", t[ok], spectral_l[ok], spectral_r[ok], dos[ok],
+                detail=f"mixed batch of {int(ok.sum())}",
+            )
+        if metrics.enabled and ok.any():
+            metrics.inc("precision.points_certified", float(ok.sum()))
+
+        monitor = get_monitor()
+        results: list = []
+        for b, energy in enumerate(energies):
+            energy = float(energy)
+            if escalate[b]:
+                results.append(None)
+                continue
+            n_l = sigs_l[b].n_open_channels()
+            n_r = sigs_r[b].n_open_channels()
+            if monitor.enabled:
+                monitor.check_gamma(gam_l[b], kernel="rgf", side="left",
+                                    energy=energy)
+                monitor.check_gamma(gam_r[b], kernel="rgf", side="right",
+                                    energy=energy)
+                if min(n_l, n_r) > 0:
+                    monitor.check_transmission(
+                        float(t[b]), min(n_l, n_r), kernel="rgf",
+                        energy=energy,
+                    )
+                monitor.check_density(spectral_l[b], kernel="rgf",
+                                      side="left", energy=energy)
+                monitor.check_density(spectral_r[b], kernel="rgf",
+                                      side="right", energy=energy)
+            results.append(
+                RGFResult(
+                    energy=energy,
+                    transmission=float(t[b]),
+                    dos=dos[b],
+                    spectral_left=spectral_l[b],
+                    spectral_right=spectral_r[b],
+                    n_channels_left=n_l,
+                    n_channels_right=n_r,
+                )
+            )
+        return results, reasons

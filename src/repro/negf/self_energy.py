@@ -108,9 +108,33 @@ class LeadSelfEnergy:
         return U[:, keep] * np.sqrt(ev[keep])[None, :]
 
 
-def _cache_key(cache_token, side, method, eta, energy):
-    """Exact (no rounding) cache key of one self-energy evaluation."""
-    return (cache_token, side, method, float(eta), float(energy))
+def _sigma_precision(precision) -> str:
+    """Numeric-content precision token of a self-energy evaluation.
+
+    ``"fp32"`` only for the pure-complex64 screening mode; ``"mixed"``
+    maps to ``"fp64"`` because mixed-mode transport deliberately keeps
+    its self-energies in full double precision (the per-kernel
+    validation showed the fp32 decimation cannot be certified for
+    propagating modes, and the LAPACK-bound solves gain nothing from
+    complex64 anyway) — so a mixed run and a pure-FP64 run share cache
+    entries bit-for-bit.
+    """
+    from ..solvers.precision import resolve_precision
+
+    return "fp32" if resolve_precision(precision) == "fp32" else "fp64"
+
+
+def _cache_key(cache_token, side, method, eta, energy, precision="fp64"):
+    """Exact (no rounding) cache key of one self-energy evaluation.
+
+    The trailing precision token keys the *numeric content* of the
+    stored sigma, so complex64 screening results can never be served to
+    a double-precision solve (or vice versa).
+    """
+    return (
+        cache_token, side, method, float(eta), float(energy),
+        _sigma_precision(precision),
+    )
 
 
 def _resolve_token(cache_token, h00, h01, tau):
@@ -137,6 +161,7 @@ def contact_self_energy(
     eta: float = 1e-6,
     cache=None,
     cache_token: str | None = None,
+    precision: str = "fp64",
 ) -> LeadSelfEnergy:
     """Compute the retarded self-energy of one contact.
 
@@ -164,17 +189,26 @@ def contact_self_energy(
     cache_token : str or None
         Precomputed lead fingerprint (``repro.parallel.lead_token``);
         None computes it here, callers in hot loops should precompute.
+    precision : {"fp64", "mixed", "fp32"}
+        Numeric mode of the evaluation.  ``"fp32"`` runs the decimation
+        in complex64 and returns a complex64 sigma; ``"mixed"`` is
+        identical to ``"fp64"`` here (see :func:`_sigma_precision`).
+        The token is part of the cache key either way.
     """
+    fp32 = _sigma_precision(precision) == "fp32"
     key = None
     if cache is not None:
         cache_token = _resolve_token(cache_token, h00, h01, tau)
-        key = _cache_key(cache_token, side, method, eta, energy)
+        key = _cache_key(cache_token, side, method, eta, energy, precision)
         hit = cache.lookup(key)
         if hit is not None:
             return hit
     degraded = False
     if method == "sancho":
-        g, _ = sancho_rubio(energy, h00, h01, side=side, eta=eta)
+        g, _ = sancho_rubio(
+            energy, h00, h01, side=side, eta=eta,
+            dtype=np.complex64 if fp32 else None,
+        )
     elif method == "eigen":
         g = eigen_surface_gf(energy, h00, h01, side=side, eta=eta)
     elif method == "robust":
@@ -196,6 +230,10 @@ def contact_self_energy(
         sigma = tau.conj().T @ g @ tau
     else:
         sigma = tau @ g @ tau.conj().T
+    if fp32:
+        # non-sancho fallbacks computed the triple product in fp64;
+        # the stored screening sigma is complex64 regardless
+        sigma = np.ascontiguousarray(sigma, dtype=np.complex64)
     result = LeadSelfEnergy(sigma=sigma, side=side, energy=energy)
     if cache is not None:
         if degraded:
@@ -215,6 +253,7 @@ def contact_self_energy_batch(
     eta: float = 1e-6,
     cache=None,
     cache_token: str | None = None,
+    precision: str = "fp64",
 ) -> list[LeadSelfEnergy]:
     """Self-energies of one contact for a whole batch of energies.
 
@@ -223,8 +262,10 @@ def contact_self_energy_batch(
     and one broadcast ``tau^+ g tau`` triple product — per-slice
     identical to the scalar path.  Other methods fall back to the
     per-point function (they are not batch-vectorised).  Results are in
-    ``energies`` order.
+    ``energies`` order.  ``precision`` behaves as in
+    :func:`contact_self_energy` (and is part of every cache key).
     """
+    fp32 = _sigma_precision(precision) == "fp32"
     energy_list = [float(e) for e in np.asarray(energies, dtype=float).ravel()]
     results: list = [None] * len(energy_list)
     if cache is not None:
@@ -232,7 +273,9 @@ def contact_self_energy_batch(
     missing: list[int] = []
     for i, e in enumerate(energy_list):
         if cache is not None:
-            hit = cache.lookup(_cache_key(cache_token, side, method, eta, e))
+            hit = cache.lookup(
+                _cache_key(cache_token, side, method, eta, e, precision)
+            )
             if hit is not None:
                 results[i] = hit
                 continue
@@ -242,13 +285,16 @@ def contact_self_energy_batch(
     if method == "sancho":
         e_missing = np.array([energy_list[i] for i in missing])
         g_stack, _ = sancho_rubio_batch(
-            e_missing, h00, h01, side=side, eta=eta
+            e_missing, h00, h01, side=side, eta=eta,
+            dtype=np.complex64 if fp32 else None,
         )
         tau_arr = np.asarray(h01 if tau is None else tau, dtype=complex)
         if side == "left":
             sigma_stack = tau_arr.conj().T @ g_stack @ tau_arr
         else:
             sigma_stack = tau_arr @ g_stack @ tau_arr.conj().T
+        if fp32:
+            sigma_stack = sigma_stack.astype(np.complex64)
         for j, i in enumerate(missing):
             res = LeadSelfEnergy(
                 sigma=np.ascontiguousarray(sigma_stack[j]),
@@ -258,7 +304,10 @@ def contact_self_energy_batch(
             results[i] = res
             if cache is not None:
                 cache.store(
-                    _cache_key(cache_token, side, method, eta, energy_list[i]),
+                    _cache_key(
+                        cache_token, side, method, eta, energy_list[i],
+                        precision,
+                    ),
                     res,
                 )
     else:
@@ -266,6 +315,6 @@ def contact_self_energy_batch(
             results[i] = contact_self_energy(
                 energy_list[i], h00, h01, tau=tau, side=side,
                 method=method, eta=eta, cache=cache,
-                cache_token=cache_token,
+                cache_token=cache_token, precision=precision,
             )
     return results

@@ -569,10 +569,13 @@ class DevicePlan:
         if meta["method"] == "rgf":
             from ..negf.rgf import RGFSolver
 
+            refine_faults = meta.get("refine_faults") or None
             self._solver = RGFSolver(
                 H, eta=float(meta["eta"]),
                 surface_method=meta["surface_method"],
                 sigma_cache=cache, lead_tokens=lead_tokens,
+                precision=meta.get("precision", "fp64"),
+                refine_faults=refine_faults,
             )
         else:
             from ..wf.qtbm import WFSolver
@@ -685,12 +688,23 @@ class ResultArena:
 
     @classmethod
     def allocate(
-        cls, n_slots: int, slot_width: int, mode: str = "shared"
+        cls, n_slots: int, slot_width: int, mode: str = "shared",
+        dtype=np.float64,
     ) -> "ResultArena":
-        """Owner-side constructor: one zeroed row per expected result."""
+        """Owner-side constructor: one zeroed row per expected result.
+
+        ``dtype`` sizes the rows: float64 (default) round-trips every
+        result field bitwise; the fp32 screening mode allocates float32
+        rows — half the shared memory — at the cost of rounding the
+        stored energy tag (all *solved* fields of a complex64 screening
+        run are float32-representable already).
+        """
         if n_slots < 1 or slot_width < 1:
             raise ValueError("arena needs n_slots >= 1 and slot_width >= 1")
-        rows = np.zeros((int(n_slots), int(slot_width)))
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError("arena dtype must be float64 or float32")
+        rows = np.zeros((int(n_slots), int(slot_width)), dtype=dtype)
         plan = DevicePlan.publish(
             {"rows": rows}, meta={"kind": "arena"}, mode=mode, writable=True
         )
@@ -812,17 +826,23 @@ def _solve_plan_chunk_body(plan_id, arena_id, slots, batched, injector,
     solver = plan.solver()
     energies = plan.array("energies")
     values = [float(energies[i]) for i in slots]
+    # mixed-precision solvers re-solve their escalated energies on the
+    # FP64 twin *here*, so the precision.* counters are charged exactly
+    # once per energy in the worker that detected the escalation
     if batched:
-        results = solver.solve_batch(values)
+        batch = getattr(solver, "solve_batch_escalating", solver.solve_batch)
+        results = batch(values)
     else:
-        results = [solver.solve(e) for e in values]
+        point = getattr(solver, "solve_escalating", solver.solve)
+        results = [point(e) for e in values]
     if mode == "nan":
         from ..resilience.faults import nan_like
 
         results = [nan_like(r) for r in results]
     n_tot = int(plan.meta["n_tot"])
     for slot, res in zip(slots, results):
-        encode_result(res, arena.rows[slot], n_tot)
+        if res is not None:
+            encode_result(res, arena.rows[slot], n_tot)
     return len(slots)
 
 

@@ -1,7 +1,20 @@
 """Linear algebra kernels: block-tridiagonal LU, domain decomposition, banded."""
 
 from .banded import BandedLU, SparseLU, bandwidth_of_blocks, blocks_to_banded
-from .block_tridiagonal import BlockTridiagLU, block_tridiag_matvec
+from .block_tridiagonal import (
+    BatchedBlockTridiagLU,
+    BlockTridiagLU,
+    block_tridiag_matvec,
+)
+from .precision import (
+    PRECISIONS,
+    RefinedSolve,
+    precision_from_env,
+    refined_sliver_solve,
+    resolve_precision,
+    split_round,
+    upcast_split,
+)
 from .splitsolve import SplitSolve, partition_domains
 
 __all__ = [
@@ -9,8 +22,16 @@ __all__ = [
     "SparseLU",
     "bandwidth_of_blocks",
     "blocks_to_banded",
+    "BatchedBlockTridiagLU",
     "BlockTridiagLU",
     "block_tridiag_matvec",
+    "PRECISIONS",
+    "RefinedSolve",
+    "precision_from_env",
+    "refined_sliver_solve",
+    "resolve_precision",
+    "split_round",
+    "upcast_split",
     "SplitSolve",
     "partition_domains",
 ]

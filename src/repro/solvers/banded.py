@@ -56,10 +56,12 @@ def blocks_to_banded(diag, upper, lower=None) -> tuple[np.ndarray, int]:
     offsets = np.concatenate([[0], np.cumsum(sizes)])
 
     def put(block, r0, c0):
-        rows, cols = np.nonzero(np.ones_like(block, dtype=bool))
-        i = rows + r0
-        j = cols + c0
-        ab[kl + i - j, j] = block[rows, cols]
+        # direct index grid: row offsets broadcast against column offsets
+        # (the old dense np.nonzero mask materialised an all-True boolean
+        # array and flat index vectors just to enumerate every element)
+        rows = np.arange(block.shape[0])[:, None] + r0
+        cols = np.arange(block.shape[1])[None, :] + c0
+        ab[kl + rows - cols, cols] = block
 
     for b, d in enumerate(diag):
         put(d, offsets[b], offsets[b])

@@ -27,6 +27,28 @@ from ..resilience.health import condition_estimate, get_sentinel
 __all__ = ["BatchedBlockTridiagLU", "BlockTridiagLU", "block_tridiag_matvec"]
 
 
+def _resolve_dtype(dtype, *block_lists) -> np.dtype:
+    """Working dtype of a factorisation.
+
+    An explicit ``dtype`` must be complex64 or complex128.  ``None``
+    (the default) infers from the inputs: complex64 only when *every*
+    block is single precision (complex64/float32) — any double-precision
+    input promotes the whole factorisation to complex128, so complex128
+    data is never silently downcast.
+    """
+    if dtype is not None:
+        dt = np.dtype(dtype)
+        if dt not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+            raise ValueError(
+                f"factorisation dtype must be complex64 or complex128, "
+                f"got {dt}"
+            )
+        return dt
+    dts = [np.asarray(b).dtype for blocks in block_lists for b in blocks]
+    rt = np.result_type(np.complex64, *dts)
+    return np.dtype(np.complex64 if rt == np.complex64 else np.complex128)
+
+
 def _factor_health_check(site: str, diag, dinv_blocks) -> None:
     """Health sentinel for a completed forward elimination.
 
@@ -97,9 +119,14 @@ class BlockTridiagLU:
         Blocks of A.  ``lower`` may be None for the Hermitian-coupling case
         ``A_{i+1,i} = upper[i].conj().T`` — note A itself need not be
         Hermitian (it isn't: E - H - Sigma has complex self-energies).
+    dtype : dtype-like, optional
+        Working precision of the factorisation (complex64 or complex128).
+        ``None`` infers from the inputs — complex64 only when every block
+        is already single precision, complex128 otherwise, so the default
+        path never silently downcasts complex128 data.
     """
 
-    def __init__(self, diag, upper, lower=None):
+    def __init__(self, diag, upper, lower=None, dtype=None):
         n = len(diag)
         if n < 1:
             raise ValueError("need at least one diagonal block")
@@ -108,16 +135,21 @@ class BlockTridiagLU:
         if len(upper) != n - 1 or len(lower) != n - 1:
             raise ValueError("need N-1 upper and lower blocks")
         self.n_blocks = n
+        self.dtype = _resolve_dtype(dtype, diag, upper, lower)
         self.sizes = np.array([d.shape[0] for d in diag])
-        self._upper = [np.ascontiguousarray(u, dtype=complex) for u in upper]
-        self._lower = [np.ascontiguousarray(l, dtype=complex) for l in lower]
+        self._upper = [
+            np.ascontiguousarray(u, dtype=self.dtype) for u in upper
+        ]
+        self._lower = [
+            np.ascontiguousarray(l, dtype=self.dtype) for l in lower
+        ]
         # forward elimination
         self._dinv: list[np.ndarray] = []
-        d = np.ascontiguousarray(diag[0], dtype=complex)
+        d = np.ascontiguousarray(diag[0], dtype=self.dtype)
         self._dinv.append(np.linalg.inv(d))
         for i in range(1, n):
-            schur = diag[i] - self._lower[i - 1] @ (
-                self._dinv[i - 1] @ self._upper[i - 1]
+            schur = np.ascontiguousarray(diag[i], dtype=self.dtype) - (
+                self._lower[i - 1] @ (self._dinv[i - 1] @ self._upper[i - 1])
             )
             self._dinv.append(np.linalg.inv(schur))
         _factor_health_check("block_lu", diag, self._dinv)
@@ -146,11 +178,16 @@ class BlockTridiagLU:
         n = self.n_blocks
         if len(rhs_blocks) != n:
             raise ValueError(f"expected {n} RHS blocks, got {len(rhs_blocks)}")
+        # solve in the promotion of factor and RHS dtypes: a complex128
+        # RHS against a complex64 factor stays complex128 end to end
+        rdt = np.result_type(
+            self.dtype, *[np.asarray(b).dtype for b in rhs_blocks]
+        )
         # forward substitution: y_i = b_i - L_i,i-1 dinv_{i-1} y_{i-1}
-        y = [np.asarray(rhs_blocks[0], dtype=complex)]
+        y = [np.asarray(rhs_blocks[0], dtype=rdt)]
         for i in range(1, n):
             y.append(
-                np.asarray(rhs_blocks[i], dtype=complex)
+                np.asarray(rhs_blocks[i], dtype=rdt)
                 - self._lower[i - 1] @ (self._dinv[i - 1] @ y[i - 1])
             )
         # backward: x_N = dinv_N y_N; x_i = dinv_i (y_i - U_{i,i+1} x_{i+1})
@@ -185,7 +222,7 @@ class BlockTridiagLU:
             raise IndexError(f"block column {j} out of range")
         m = self.sizes[j]
         y = [None] * n
-        y[j] = np.eye(m, dtype=complex)
+        y[j] = np.eye(m, dtype=self.dtype)
         for i in range(j + 1, n):
             y[i] = -self._lower[i - 1] @ (self._dinv[i - 1] @ y[i - 1])
         x = [None] * n
@@ -204,7 +241,7 @@ class BlockTridiagLU:
         # normalise Nones (possible when n==1) to zero blocks.
         for i in range(n):
             if x[i] is None:
-                x[i] = np.zeros((self.sizes[i], m), dtype=complex)
+                x[i] = np.zeros((self.sizes[i], m), dtype=self.dtype)
         tracer = get_tracer()
         if tracer.enabled:
             sizes = self.sizes
@@ -283,14 +320,19 @@ class BatchedBlockTridiagLU:
         Coupling blocks, either shared 2-D ``(m_i, m_{i+1})`` arrays
         (broadcast over the batch — the transport case) or per-batch 3-D
         stacks.  ``lower=None`` uses ``upper[i].conj().T`` slab-wise.
+    dtype : dtype-like, optional
+        Working precision (complex64 or complex128); ``None`` infers
+        from the inputs exactly like :class:`BlockTridiagLU`.
 
     Flop accounting: the instrumented counts are exactly ``B`` times the
     per-point :class:`BlockTridiagLU` formulas, charged to the same
     kernel names — :func:`repro.observability.validate_flops` pins the
-    batched path against the analytic formulas too.
+    batched path against the analytic formulas too.  The counts are
+    dtype-independent: a complex64 factorisation performs the same
+    operations at roughly twice the hardware throughput.
     """
 
-    def __init__(self, diag, upper, lower=None, instrument=True):
+    def __init__(self, diag, upper, lower=None, instrument=True, dtype=None):
         n = len(diag)
         self._instrument = bool(instrument)
         if n < 1:
@@ -308,17 +350,22 @@ class BatchedBlockTridiagLU:
         if len(upper) != n - 1 or len(lower) != n - 1:
             raise ValueError("need N-1 upper and lower blocks")
         self.n_blocks = n
+        self.dtype = _resolve_dtype(dtype, diag, upper, lower)
         self.sizes = np.array([np.asarray(d).shape[-1] for d in diag])
-        self._upper = [np.ascontiguousarray(u, dtype=complex) for u in upper]
-        self._lower = [np.ascontiguousarray(l, dtype=complex) for l in lower]
+        self._upper = [
+            np.ascontiguousarray(u, dtype=self.dtype) for u in upper
+        ]
+        self._lower = [
+            np.ascontiguousarray(l, dtype=self.dtype) for l in lower
+        ]
         # forward elimination on the stacks (same op order as the scalar
         # class, so each batch slice is bit-for-bit the scalar result)
         self._dinv: list[np.ndarray] = []
-        d0 = np.ascontiguousarray(diag[0], dtype=complex)
+        d0 = np.ascontiguousarray(diag[0], dtype=self.dtype)
         self._dinv.append(np.linalg.inv(d0))
         for i in range(1, n):
-            schur = diag[i] - self._lower[i - 1] @ (
-                self._dinv[i - 1] @ self._upper[i - 1]
+            schur = np.ascontiguousarray(diag[i], dtype=self.dtype) - (
+                self._lower[i - 1] @ (self._dinv[i - 1] @ self._upper[i - 1])
             )
             self._dinv.append(np.linalg.inv(schur))
         _factor_health_check("block_lu_batched", diag, self._dinv)
@@ -341,10 +388,13 @@ class BatchedBlockTridiagLU:
         n = self.n_blocks
         if len(rhs_blocks) != n:
             raise ValueError(f"expected {n} RHS blocks, got {len(rhs_blocks)}")
-        y = [np.asarray(rhs_blocks[0], dtype=complex)]
+        rdt = np.result_type(
+            self.dtype, *[np.asarray(b).dtype for b in rhs_blocks]
+        )
+        y = [np.asarray(rhs_blocks[0], dtype=rdt)]
         for i in range(1, n):
             y.append(
-                np.asarray(rhs_blocks[i], dtype=complex)
+                np.asarray(rhs_blocks[i], dtype=rdt)
                 - self._lower[i - 1] @ (self._dinv[i - 1] @ y[i - 1])
             )
         x = [None] * n
@@ -372,7 +422,7 @@ class BatchedBlockTridiagLU:
             raise IndexError(f"block column {j} out of range")
         m = int(self.sizes[j])
         eye = np.broadcast_to(
-            np.eye(m, dtype=complex), (self.batch_size, m, m)
+            np.eye(m, dtype=self.dtype), (self.batch_size, m, m)
         )
         y = [None] * n
         y[j] = np.ascontiguousarray(eye)
@@ -389,7 +439,8 @@ class BatchedBlockTridiagLU:
         for i in range(n):
             if x[i] is None:
                 x[i] = np.zeros(
-                    (self.batch_size, int(self.sizes[i]), m), dtype=complex
+                    (self.batch_size, int(self.sizes[i]), m),
+                    dtype=self.dtype,
                 )
         tracer = get_tracer()
         if tracer.enabled and self._instrument:

@@ -18,12 +18,9 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    DeviceSpec,
     DistributedTransport,
     IVSweep,
     SelfConsistentSolver,
-    TransportCalculation,
-    build_device,
 )
 from repro.observability import MetricsRegistry, use_metrics
 from repro.parallel import (
@@ -42,38 +39,11 @@ from repro.parallel import (
     unlink_leaked_plans,
 )
 from repro.resilience import SweepCheckpoint
+from tests.conftest import make_transport as _transport
+
+# the ``built`` and ``reference`` fixtures live in tests/conftest.py
 
 BACKENDS = ["serial", "thread", "process"]
-
-
-@pytest.fixture(scope="module")
-def built():
-    return build_device(DeviceSpec(
-        n_x=10,
-        n_y=2,
-        n_z=2,
-        spacing_nm=0.25,
-        source_cells=3,
-        drain_cells=3,
-        gate_cells=(4, 6),
-        donor_density_nm3=0.05,
-        material_params={"m_rel": 0.3},
-    ))
-
-
-def _transport(built, **kwargs):
-    kwargs.setdefault("method", "rgf")
-    kwargs.setdefault("n_energy", 21)
-    return TransportCalculation(built, **kwargs)
-
-
-@pytest.fixture(scope="module")
-def reference(built):
-    """Serial, unbatched, uncached bias solve — the ground truth."""
-    tc = _transport(built, backend="serial")
-    pot = np.zeros(built.n_atoms)
-    grid = tc.energy_grid(pot, 0.05)
-    return pot, grid, tc.solve_bias(pot, 0.05, energy_grid=grid)
 
 
 class TestBackendEquivalence:

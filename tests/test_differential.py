@@ -23,16 +23,15 @@ from repro.negf import (
     dense_observables,
     landauer_current,
 )
-from repro.lattice import partition_into_slabs, rectangular_grid_device
-from repro.tb import (
-    BlockTridiagonalHamiltonian,
-    build_device_hamiltonian,
-    single_band_material,
-)
 from repro.core import DeviceSpec, TransportCalculation, build_device
 from repro.physics.grids import AdaptiveEnergyGrid, uniform_grid
-from repro.tb.chain import chain_blocks
 from repro.wf import WFSolver
+from tests.conftest import (
+    band_energy_grid,
+    chain_device as _chain_device,
+    grid_device as _grid_device,
+    random_device as _random_device,
+)
 
 ETA = 1e-5
 TOL = 1e-10
@@ -41,68 +40,11 @@ KT_EV = 0.025
 
 
 # ---------------------------------------------------------------------------
-# device generators
+# device generators (shared population in tests/conftest.py)
 # ---------------------------------------------------------------------------
 
-def _chain_device(seed):
-    """1-D chain (one orbital per slab) with a random smooth barrier."""
-    rng = np.random.default_rng(1000 + seed)
-    n = int(rng.integers(6, 15))
-    e0 = float(rng.uniform(-0.3, 0.3))
-    t = float(rng.uniform(0.8, 1.2))
-    pot = np.zeros(n)
-    lo = int(rng.integers(2, max(3, n - 4)))
-    hi = min(n - 2, lo + int(rng.integers(1, 4)))
-    pot[lo:hi] = float(rng.uniform(0.1, 0.6))
-    diag, up = chain_blocks(n, e0, t, pot)
-    return BlockTridiagonalHamiltonian(diag, up)
-
-
-def _grid_device(seed):
-    """Effective-mass grid device with varying material and orbital count."""
-    rng = np.random.default_rng(2000 + seed)
-    m_rel = (0.2, 0.3, 0.5)[seed % 3]
-    n_y, n_z = ((2, 1), (2, 2), (3, 1))[seed % 3]
-    n_x = int(rng.integers(5, 8))
-    spacing = 0.3
-    mat = single_band_material(m_rel=m_rel, spacing_nm=spacing)
-    s = rectangular_grid_device(spacing, n_x, n_y, n_z)
-    dev = partition_into_slabs(s, spacing, spacing)
-    pot = np.zeros(s.n_atoms)
-    slab = dev.slab_of_atom()
-    pot[(slab >= 2) & (slab <= 3)] = float(rng.uniform(0.05, 0.3))
-    return build_device_hamiltonian(dev, mat, potential=pot)
-
-
-def _random_device(seed):
-    """Random Hermitian block-tridiagonal system, 2-4 orbitals per slab."""
-    rng = np.random.default_rng(3000 + seed)
-    m = int(rng.integers(2, 5))
-    n_blocks = int(rng.integers(4, 7))
-
-    def herm():
-        a = rng.normal(size=(m, m)) + 1j * rng.normal(size=(m, m))
-        return 0.5 * (a + a.conj().T)
-
-    h00 = herm()
-    h01 = 0.6 * (rng.normal(size=(m, m)) + 1j * rng.normal(size=(m, m)))
-    diag = [h00.copy() for _ in range(n_blocks)]
-    # perturb the interior so the device is not a perfect lead
-    for i in range(1, n_blocks - 1):
-        diag[i] = diag[i] + 0.2 * herm()
-    upper = [h01.copy() for _ in range(n_blocks - 1)]
-    return BlockTridiagonalHamiltonian(diag, upper)
-
-
 def _energy_grid(H):
-    """Energies straddling the lead band (open and closed channels)."""
-    ev = np.linalg.eigvalsh(H.diagonal[0])
-    width = 2.0 * np.linalg.norm(H.upper[0], 2)
-    lo, hi = ev.min() - width, ev.max() + width
-    # asymmetric, irrational-ish pads so no grid point lands exactly on a
-    # lead band edge (where Sancho-Rubio decimation converges slowly)
-    w = hi - lo
-    return np.linspace(lo + 0.137 * w, hi - 0.171 * w, N_ENERGY)
+    return band_energy_grid(H, n_energy=N_ENERGY)
 
 
 CASES = (
